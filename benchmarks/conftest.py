@@ -1,0 +1,109 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every figure is a grid of (benchmark, scheme, machine-variant) cells; many
+figures share cells (e.g. Figure 4's miss rates come from Figure 3's
+256 KB and 4 MB runs), so results are cached per session in `CELL_CACHE`.
+
+Environment knobs:
+
+``REPRO_BENCH_FAST=1``
+    Run three representative benchmarks (gzip, twolf, swim) with shorter
+    measurement windows — for smoke-testing the harness itself.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+import dataclasses
+import pytest
+
+from repro.common import HashEngineConfig, SchemeKind, SystemConfig, table1_config
+from repro.sim import run_benchmark
+from repro.sim.results import SimResult
+from repro.workloads import BENCHMARK_ORDER
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+BENCHMARKS = ["gzip", "twolf", "swim"] if FAST else list(BENCHMARK_ORDER)
+INSTRUCTIONS = 6_000 if FAST else 12_000
+
+CellKey = Tuple
+CELL_CACHE: Dict[CellKey, SimResult] = {}
+
+
+def cell(
+    benchmark: str,
+    scheme: SchemeKind,
+    l2_size: Optional[int] = None,
+    l2_block: Optional[int] = None,
+    hash_throughput: Optional[float] = None,
+    buffer_entries: Optional[int] = None,
+    blocks_per_chunk: Optional[int] = None,
+    write_allocate_valid_bits: Optional[bool] = None,
+) -> SimResult:
+    """Run (or fetch) one simulation cell."""
+    # normalize defaults so figures share cache entries
+    if hash_throughput == HashEngineConfig().throughput_gb_per_s:
+        hash_throughput = None
+    if buffer_entries == HashEngineConfig().read_buffer_entries:
+        buffer_entries = None
+    if write_allocate_valid_bits is True:
+        write_allocate_valid_bits = None
+    key = (benchmark, scheme.value, l2_size, l2_block, hash_throughput,
+           buffer_entries, blocks_per_chunk, write_allocate_valid_bits,
+           INSTRUCTIONS)
+    if key in CELL_CACHE:
+        return CELL_CACHE[key]
+    config = build_config(
+        scheme, l2_size, l2_block, hash_throughput, buffer_entries,
+        blocks_per_chunk, write_allocate_valid_bits,
+    )
+    result = run_benchmark(config, benchmark, instructions=INSTRUCTIONS)
+    CELL_CACHE[key] = result
+    return result
+
+
+def build_config(
+    scheme: SchemeKind,
+    l2_size: Optional[int] = None,
+    l2_block: Optional[int] = None,
+    hash_throughput: Optional[float] = None,
+    buffer_entries: Optional[int] = None,
+    blocks_per_chunk: Optional[int] = None,
+    write_allocate_valid_bits: Optional[bool] = None,
+) -> SystemConfig:
+    config = table1_config(scheme)
+    if l2_size is not None or l2_block is not None:
+        config = config.with_l2(size_bytes=l2_size, block_bytes=l2_block)
+    engine_changes = {}
+    if hash_throughput is not None:
+        engine_changes["throughput_gb_per_s"] = hash_throughput
+    if buffer_entries is not None:
+        engine_changes["read_buffer_entries"] = buffer_entries
+        engine_changes["write_buffer_entries"] = buffer_entries
+    if engine_changes:
+        config = dataclasses.replace(
+            config,
+            hash_engine=dataclasses.replace(config.hash_engine, **engine_changes),
+        )
+    if blocks_per_chunk is not None:
+        config = dataclasses.replace(config, blocks_per_chunk=blocks_per_chunk)
+    if write_allocate_valid_bits is not None:
+        config = dataclasses.replace(
+            config, write_allocate_valid_bits=write_allocate_valid_bits
+        )
+    return config
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def bench_benchmarks():
+    return BENCHMARKS

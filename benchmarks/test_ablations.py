@@ -1,0 +1,98 @@
+"""Ablations: design choices called out in DESIGN.md.
+
+* the §5.3 valid-bit write-allocate optimization (on/off) — matters most
+  for streaming-store workloads;
+* hash latency sweep — the paper notes longer-latency hash pipelines are
+  absorbed by buffering (only *throughput* matters);
+* tree arity (via chunk size) — memory overhead vs verification traffic.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common import MB, SchemeKind
+from repro.sim import run_benchmark
+
+from conftest import INSTRUCTIONS, build_config, cell, print_banner
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_write_allocate_valid_bits(benchmark):
+    def _run():
+        results = {}
+        for enabled in (True, False):
+            for bench in ("swim", "gzip"):
+                results[(bench, enabled)] = cell(
+                    bench, SchemeKind.CHASH, l2_size=1 * MB, l2_block=64,
+                    write_allocate_valid_bits=enabled,
+                )
+        return results
+
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_banner("Ablation: §5.3 valid-bit write-allocate optimization")
+    print(f"{'benchmark':10s} {'on':>10s} {'off':>10s} {'gain':>8s}")
+    for bench in ("swim", "gzip"):
+        on = results[(bench, True)].ipc
+        off = results[(bench, False)].ipc
+        print(f"{bench:10s} {on:10.3f} {off:10.3f} {on / off:8.2f}x")
+
+    # streaming stores benefit substantially; a read-dominated benchmark
+    # is barely affected
+    assert results[("swim", True)].ipc > results[("swim", False)].ipc * 1.10
+    assert results[("gzip", True)].ipc >= results[("gzip", False)].ipc * 0.98
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_hash_latency_is_absorbed(benchmark):
+    """Section 6.1: longer hash latency is hidden by the buffers."""
+    def _run():
+        results = {}
+        for latency in (40, 80, 160, 320):
+            config = build_config(SchemeKind.CHASH, l2_size=1 * MB, l2_block=64)
+            config = dataclasses.replace(
+                config,
+                hash_engine=dataclasses.replace(config.hash_engine,
+                                                latency_cycles=latency),
+            )
+            results[latency] = run_benchmark(config, "twolf",
+                                             instructions=INSTRUCTIONS)
+        return results
+
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_banner("Ablation: hash pipeline latency (twolf, chash, 1MB)")
+    for latency, result in results.items():
+        print(f"  latency {latency:4d} cycles: IPC {result.ipc:.3f}")
+
+    reference = results[80].ipc
+    for latency, result in results.items():
+        assert result.ipc == pytest.approx(reference, rel=0.05), (
+            f"hash latency {latency} should be absorbed by buffering"
+        )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_arity_tradeoff(benchmark):
+    """Bigger chunks = higher arity = less hash memory, fewer tree levels."""
+    def _run():
+        results = {}
+        for block in (64, 128, 256):
+            results[block] = cell("twolf", SchemeKind.CHASH,
+                                  l2_size=1 * MB, l2_block=block)
+        return results
+
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_banner("Ablation: tree arity via chunk size (twolf, chash, 1MB)")
+    from repro.hashtree import TreeLayout
+    from repro.common import GB
+    for block, result in results.items():
+        layout = TreeLayout(4 * GB, block, 16)
+        print(f"  {block:4d}B chunks: arity {layout.arity:3d}, "
+              f"mem overhead {layout.memory_overhead:6.1%}, "
+              f"depth {layout.max_depth():2d}, IPC {result.ipc:.3f}")
+
+    # all three run correctly and the larger-arity trees use less memory
+    from repro.common import GB
+    overheads = [TreeLayout(4 * GB, b, 16).memory_overhead
+                 for b in (64, 128, 256)]
+    assert overheads == sorted(overheads, reverse=True)

@@ -1,0 +1,57 @@
+"""Figure 4: L2 miss-rates of program data — cache contention from hashes.
+
+Caching the tree in the L2 makes hashes contend with program data.  At
+256 KB the data miss-rate rises noticeably (twolf/vortex/vpr are the
+paper's worst cases); at 4 MB the contention disappears.
+"""
+
+import pytest
+
+from repro.common import KB, MB, SchemeKind
+
+from conftest import BENCHMARKS, cell, print_banner
+
+CONFIGS = [256 * KB, 4 * MB]
+
+
+def _run():
+    grid = {}
+    for size in CONFIGS:
+        for scheme in (SchemeKind.BASE, SchemeKind.CHASH):
+            for bench in BENCHMARKS:
+                grid[(bench, scheme, size)] = cell(
+                    bench, scheme, l2_size=size, l2_block=64
+                )
+    return grid
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4(benchmark):
+    grid = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_banner("Figure 4: L2 miss-rate of program data (base vs chash)")
+    print(f"{'benchmark':10s} {'base-256K':>10s} {'c-256K':>10s} "
+          f"{'base-4M':>10s} {'c-4M':>10s}")
+    for bench in BENCHMARKS:
+        values = [
+            grid[(bench, SchemeKind.BASE, 256 * KB)].l2_data_miss_rate,
+            grid[(bench, SchemeKind.CHASH, 256 * KB)].l2_data_miss_rate,
+            grid[(bench, SchemeKind.BASE, 4 * MB)].l2_data_miss_rate,
+            grid[(bench, SchemeKind.CHASH, 4 * MB)].l2_data_miss_rate,
+        ]
+        print(f"{bench:10s}" + "".join(f"{v:10.2%}" for v in values))
+
+    # contention exists at 256KB for at least the classic victims
+    inflated = 0
+    for bench in BENCHMARKS:
+        base = grid[(bench, SchemeKind.BASE, 256 * KB)].l2_data_miss_rate
+        chash = grid[(bench, SchemeKind.CHASH, 256 * KB)].l2_data_miss_rate
+        if chash > base * 1.05:
+            inflated += 1
+    assert inflated >= max(1, len(BENCHMARKS) // 3)
+
+    # and vanishes at 4MB: no benchmark inflates noticeably
+    for bench in BENCHMARKS:
+        base = grid[(bench, SchemeKind.BASE, 4 * MB)].l2_data_miss_rate
+        chash = grid[(bench, SchemeKind.CHASH, 4 * MB)].l2_data_miss_rate
+        assert chash <= base * 1.15 + 0.01

@@ -1,0 +1,55 @@
+"""Figure 6: effect of hash-unit throughput on chash performance.
+
+Sweeps the hash pipeline's throughput over {6.4, 3.2, 1.6, 0.8} GB/s
+(1 MB L2, 64 B blocks).  The paper's finding: anything at or above the
+default 3.2 GB/s is indistinguishable; at 1.6 GB/s (equal to the bus) a
+minor loss appears; at 0.8 GB/s the hash unit throttles effective memory
+bandwidth and the bandwidth-bound benchmarks degrade sharply.
+"""
+
+import pytest
+
+from repro.common import MB, SchemeKind
+from repro.workloads import BANDWIDTH_BOUND
+
+from conftest import BENCHMARKS, cell, print_banner
+
+THROUGHPUTS = [6.4, 3.2, 1.6, 0.8]
+
+
+def _run():
+    return {
+        (bench, throughput): cell(
+            bench, SchemeKind.CHASH, l2_size=1 * MB, l2_block=64,
+            hash_throughput=throughput,
+        )
+        for throughput in THROUGHPUTS for bench in BENCHMARKS
+    }
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6(benchmark):
+    grid = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_banner("Figure 6: IPC vs hash throughput (chash, 1MB/64B)")
+    print(f"{'benchmark':10s}" + "".join(f"{t:>9.1f}GB" for t in THROUGHPUTS))
+    for bench in BENCHMARKS:
+        print(f"{bench:10s}" + "".join(
+            f"{grid[(bench, t)].ipc:11.3f}" for t in THROUGHPUTS))
+
+    for bench in BENCHMARKS:
+        fast = grid[(bench, 6.4)].ipc
+        default = grid[(bench, 3.2)].ipc
+        slow = grid[(bench, 0.8)].ipc
+        # >= 3.2 GB/s: no benefit from more hash throughput
+        assert fast == pytest.approx(default, rel=0.03)
+        # 0.8 GB/s never helps
+        assert slow <= default * 1.001
+
+    # the bandwidth-bound benchmarks are the ones that suffer at 0.8 GB/s
+    for bench in set(BENCHMARKS) & set(BANDWIDTH_BOUND):
+        default = grid[(bench, 3.2)].ipc
+        slow = grid[(bench, 0.8)].ipc
+        assert slow < default * 0.85, (
+            f"{bench} should be throttled by a hash unit slower than the bus"
+        )

@@ -1,0 +1,46 @@
+"""Figure 7: effect of the hash read/write buffer size (chash, 1 MB/64 B).
+
+The paper's finding: because the hash unit's throughput exceeds the memory
+bus bandwidth, a handful of buffer entries suffices — growing the buffers
+beyond that has no effect on IPC.
+"""
+
+import pytest
+
+from repro.common import MB, SchemeKind
+
+from conftest import BENCHMARKS, cell, print_banner
+
+BUFFER_SIZES = [1, 2, 4, 8, 16, 32]
+
+
+def _run():
+    return {
+        (bench, entries): cell(
+            bench, SchemeKind.CHASH, l2_size=1 * MB, l2_block=64,
+            buffer_entries=entries,
+        )
+        for entries in BUFFER_SIZES for bench in BENCHMARKS
+    }
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7(benchmark):
+    grid = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_banner("Figure 7: IPC vs hash buffer entries (chash, 1MB/64B)")
+    print(f"{'benchmark':10s}" + "".join(f"{n:>9d}" for n in BUFFER_SIZES))
+    for bench in BENCHMARKS:
+        print(f"{bench:10s}" + "".join(
+            f"{grid[(bench, n)].ipc:9.3f}" for n in BUFFER_SIZES))
+
+    for bench in BENCHMARKS:
+        reference = grid[(bench, 16)].ipc  # the paper's default
+        # beyond a few entries the buffers stop mattering
+        for entries in (8, 32):
+            assert grid[(bench, entries)].ipc == pytest.approx(
+                reference, rel=0.05
+            )
+        # buffers never make things faster than the 32-entry case by much,
+        # and a single entry is never *better* than the default
+        assert grid[(bench, 1)].ipc <= reference * 1.02

@@ -1,0 +1,59 @@
+"""Section 5.1: analytic overheads of the hash tree, measured.
+
+* memory consumption: an m-ary tree costs ~1/(m-1) extra space
+  (for m=4, hashes are one quarter of all memory);
+* verification cost: log_m(N) checks per uncached read, growing
+  logarithmically with the protected memory size.
+"""
+
+import pytest
+
+from repro.common import GB, MB, SchemeKind
+from repro.hashtree import TreeLayout
+
+from conftest import cell, print_banner
+
+
+def _layouts():
+    rows = []
+    for chunk_bytes in (64, 128, 256):
+        layout = TreeLayout(1 * GB, chunk_bytes, 16)
+        rows.append((chunk_bytes, layout.arity, layout.memory_overhead,
+                     layout.max_depth()))
+    depths = []
+    for size in (64 * MB, 256 * MB, 1 * GB, 4 * GB):
+        depths.append((size, TreeLayout(size, 64, 16).max_depth()))
+    return rows, depths
+
+
+@pytest.mark.benchmark(group="overheads")
+def test_overheads(benchmark):
+    rows, depths = benchmark.pedantic(_layouts, rounds=1, iterations=1)
+
+    print_banner("Section 5.1: tree overheads (1GB protected, 128-bit hashes)")
+    print(f"{'chunk':>6s} {'arity':>6s} {'mem overhead':>14s} {'depth':>6s}")
+    for chunk_bytes, arity, overhead, depth in rows:
+        print(f"{chunk_bytes:6d} {arity:6d} {overhead:14.1%} {depth:6d}")
+    print()
+    print("verification path length vs protected memory size (64B chunks):")
+    for size, depth in depths:
+        print(f"  {size // MB:6d} MB -> {depth} levels")
+
+    by_chunk = {row[0]: row for row in rows}
+    # 4-ary: 1/(m-1) = 1/3 extra; hashes = 1/4 of the total
+    assert by_chunk[64][2] == pytest.approx(1 / 3, rel=0.02)
+    # 8-ary: 1/7
+    assert by_chunk[128][2] == pytest.approx(1 / 7, rel=0.02)
+    # 16-ary: 1/15
+    assert by_chunk[256][2] == pytest.approx(1 / 15, rel=0.02)
+
+    # depth grows by one per 4x of memory (arity 4)
+    depth_values = [depth for _, depth in depths]
+    assert depth_values == sorted(depth_values)
+    assert depth_values[-1] - depth_values[0] == 3
+
+    # measured: the naive scheme's extra reads per read-miss equal the
+    # tree depth (twolf: read-dominated with a steady miss stream)
+    result = cell("twolf", SchemeKind.NAIVE, l2_size=1 * MB, l2_block=64)
+    four_gb_depth = TreeLayout(4 * GB, 64, 16).max_depth()
+    assert result.extra_reads_per_miss == pytest.approx(four_gb_depth, abs=2.0)

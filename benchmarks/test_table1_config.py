@@ -1,0 +1,69 @@
+"""Table 1: architectural parameters used in simulations.
+
+Regenerates the paper's parameter table from the default configuration and
+asserts the restored values (see DESIGN.md for the OCR-recovery notes).
+"""
+
+import pytest
+
+from repro.common import KB, MB, table1_config
+
+from conftest import print_banner
+
+
+def _render_table1() -> str:
+    config = table1_config()
+    rows = [
+        ("Clock frequency", f"{config.core.clock_ghz:g} GHz"),
+        ("L1 I-cache", f"{config.l1i.size_bytes // KB}KB, "
+                       f"{config.l1i.associativity}-way, "
+                       f"{config.l1i.block_bytes}B line"),
+        ("L1 D-cache", f"{config.l1d.size_bytes // KB}KB, "
+                       f"{config.l1d.associativity}-way, "
+                       f"{config.l1d.block_bytes}B line"),
+        ("L2 cache", f"Unified, {config.l2.size_bytes // MB}MB, "
+                     f"{config.l2.associativity}-way, "
+                     f"{config.l2.block_bytes}B line"),
+        ("L1 latency", f"{config.l1d.latency_cycles} cycle"),
+        ("L2 latency", f"{config.l2.latency_cycles} cycles"),
+        ("Memory latency (first chunk)",
+         f"{config.dram.first_chunk_latency_cycles} cycles"),
+        ("I/D TLBs", f"{config.tlb.associativity}-way, "
+                     f"{config.tlb.entries}-entries"),
+        ("Memory bus", f"{config.bus.clock_mhz} MHz, "
+                       f"{config.bus.width_bytes}-B wide "
+                       f"({config.bus.bandwidth_gb_per_s:.1f} GB/s)"),
+        ("Fetch/decode width",
+         f"{config.core.fetch_width} / {config.core.decode_width} per cycle"),
+        ("Issue/commit width",
+         f"{config.core.issue_width} / {config.core.commit_width} per cycle"),
+        ("Load/store queue size", f"{config.core.lsq_entries}"),
+        ("Register update unit size", f"{config.core.ruu_entries}"),
+        ("Hash latency", f"{config.hash_engine.latency_cycles} cycles"),
+        ("Hash throughput",
+         f"{config.hash_engine.throughput_gb_per_s} GB/s"),
+        ("Hash read/write buffer",
+         f"{config.hash_engine.read_buffer_entries}"),
+        ("Hash length", f"{config.hash_engine.hash_bits} bits"),
+    ]
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name:{width}s}  {value}" for name, value in rows)
+
+
+def test_table1(benchmark):
+    table = benchmark.pedantic(_render_table1, rounds=1, iterations=1)
+    print_banner("Table 1. Architectural parameters used in simulations")
+    print(table)
+
+    config = table1_config()
+    assert config.core.clock_ghz == 1.0
+    assert config.l1i.size_bytes == 64 * KB and config.l1i.block_bytes == 32
+    assert config.l2.size_bytes == 1 * MB and config.l2.block_bytes == 64
+    assert config.dram.first_chunk_latency_cycles == 80
+    assert config.bus.bandwidth_gb_per_s == pytest.approx(1.6, rel=0.01)
+    assert config.hash_engine.latency_cycles == 80
+    assert config.hash_engine.throughput_gb_per_s == 3.2
+    assert config.hash_engine.read_buffer_entries == 16
+    assert config.hash_engine.hash_bits == 128
+    assert config.core.lsq_entries == 64
+    assert config.core.ruu_entries == 128

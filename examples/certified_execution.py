@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Certified execution: Alice rents Bob's computer (paper Section 4.1).
+
+Alice sends a program to the secure processor in Bob's machine.  The
+processor derives a key unique to (processor, program), runs the program
+with all memory verified, and signs the result.  Alice checks the
+signature against the manufacturer's records.  Three runs:
+
+1. an honest run — Alice accepts;
+2. Bob forges the result value — Alice rejects;
+3. Bob attacks the memory bus mid-run — the processor aborts and no
+   certificate exists at all.
+
+Run:  python examples/certified_execution.py
+"""
+
+from repro.certify import Alice, SecureProcessor
+from repro.crypto import Manufacturer
+from repro.memory import TamperAdversary, UntrustedMemory
+
+# Alice's program: compute sum(1..n) with a verified loop counter in memory.
+SUM_PROGRAM = [
+    ("PUSH", 0), ("STORE", 0),       # sum = 0
+    ("LOAD", 8),                     # i = n (input at data address 8)
+    # loop (byte offset 19):
+    ("DUP",), ("LOAD", 0), ("ADD",), ("STORE", 0),
+    ("PUSH", 1), ("SUB",),
+    ("DUP",), ("JNZ", 19),
+    ("POP",),
+    ("LOAD", 0), ("HALT",),
+]
+
+
+def main() -> None:
+    manufacturer = Manufacturer()
+    secret = manufacturer.mint_processor()
+    alice = Alice(manufacturer, SUM_PROGRAM)
+
+    print("-- run 1: honest Bob ----------------------------------------")
+    processor = SecureProcessor(secret, UntrustedMemory(1 << 20))
+    result = processor.execute_certified(SUM_PROGRAM, inputs=[(8, 1000)])
+    print(f"result = {result.value} (expected {1000 * 1001 // 2})")
+    print("Alice accepts?", alice.accepts(result))
+
+    print("-- run 2: Bob forges the value ------------------------------")
+    result = processor.execute_certified(SUM_PROGRAM, inputs=[(8, 1000)])
+    result.value = 42  # Bob edits the reply
+    print("forged result =", result.value)
+    print("Alice accepts?", alice.accepts(result))
+
+    print("-- run 3: Bob tampers with the memory bus -------------------")
+    from repro.hashtree import MemoryVerifier
+    probe = MemoryVerifier(UntrustedMemory(1 << 20), 64 * 1024)
+    target = probe.physical_address(8192)  # the VM's data region
+    adversary = TamperAdversary(target_address=target, trigger_after=1)
+    attacked = SecureProcessor(
+        secret, UntrustedMemory(1 << 20, adversary=adversary), scheme="naive"
+    )
+    probe_program = [("LOAD", 0), ("LOAD", 0), ("LOAD", 0), ("HALT",)]
+    result = attacked.execute_certified(probe_program)
+    print("run aborted?", result.aborted, "| signature exists?",
+          result.signature is not None)
+    print("Alice accepts?", Alice(manufacturer, probe_program).accepts(result))
+
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

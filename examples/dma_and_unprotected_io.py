@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""DMA into verified memory: the two strategies of Section 5.7.
+
+A device (disk, NIC) deposits data into RAM without the processor in the
+loop, so the hash tree does not cover it.  The example shows:
+
+1. *unprotect → DMA → rebuild*: a subtree is temporarily unprotected and
+   re-hashed after the transfer;
+2. *staging copy*: the transfer lands in the unprotected window, the
+   application checks a digest, and the processor copies it in through
+   verified writes;
+3. what goes wrong without either: a DMA straight into protected memory
+   is caught on the next read;
+4. the ReadWithoutChecking discipline: normal loads refuse unprotected
+   bytes, unchecked reads refuse protected bytes.
+
+Run:  python examples/dma_and_unprotected_io.py
+"""
+
+import hashlib
+
+from repro import IntegrityError, MemoryVerifier, SecureModeError, UntrustedMemory
+from repro.memory import DMAController, DMADevice
+
+
+def main() -> None:
+    memory = UntrustedMemory(1 << 20)
+    verifier = MemoryVerifier(memory, data_bytes=64 * 1024, scheme="chash",
+                              cache_chunks=32)
+    verifier.initialize()
+    device = DMADevice(memory)
+    controller = DMAController(verifier, device)
+
+    print("-- strategy 1: unprotect, transfer, rebuild ------------------")
+    packet = bytes(range(64)) * 4
+    controller.transfer_and_rebuild(0x2000, packet)
+    assert verifier.read(0x2000, len(packet)) == packet
+    print(f"{len(packet)} bytes DMA'd into protected memory and re-covered")
+
+    print("-- strategy 2: stage in unprotected memory, copy in ----------")
+    staging = verifier.unprotected_window.start
+    digest = hashlib.sha256(packet).digest()
+    controller.transfer_and_copy(staging, 0x4000, packet,
+                                 expected_digest=digest)
+    assert verifier.read(0x4000, len(packet)) == packet
+    print("staged transfer passed its application-level check and was copied")
+
+    print("-- rogue DMA straight into protected memory ------------------")
+    device.transfer(verifier.physical_address(0x6000), b"\xee" * 64)
+    for chunk in range(verifier.layout.total_chunks):
+        verifier.tree.invalidate_chunk(chunk)
+    try:
+        verifier.read(0x6000, 8)
+        raise SystemExit("BUG: rogue DMA went undetected")
+    except IntegrityError:
+        print("rogue DMA detected on the next verified read")
+
+    print("-- the ReadWithoutChecking discipline ------------------------")
+    try:
+        verifier.read(staging, 8)
+    except SecureModeError as error:
+        print("normal load of unprotected bytes refused:", error)
+    try:
+        verifier.read_without_checking(0x2000, 8)
+    except SecureModeError as error:
+        print("unchecked read of protected bytes refused:", error)
+
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

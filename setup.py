@@ -1,0 +1,11 @@
+"""Setup shim for offline environments without the ``wheel`` package.
+
+``pip install -e .`` needs PEP 660 editable-wheel support, which requires
+``wheel``; this shim lets ``pip install -e . --no-use-pep517`` (or plain
+``pip install -e .`` with older pip) fall back to the legacy develop path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

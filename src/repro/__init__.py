@@ -1,0 +1,79 @@
+"""repro — caches and hash trees for efficient memory integrity verification.
+
+A full reproduction of Gassend, Suh, Clarke, van Dijk and Devadas,
+"Caches and Hash Trees for Efficient Memory Integrity Verification"
+(HPCA 2003): the functional Merkle-tree verification schemes (naive,
+chash, mhash, ihash), the adversary models they defeat, the certified-
+execution application, and a full-system performance model (out-of-order
+core, cache hierarchy, memory bus, hash engine) that regenerates every
+figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import MemoryVerifier, UntrustedMemory
+
+    memory = UntrustedMemory(1 << 20)
+    verifier = MemoryVerifier(memory, data_bytes=64 * 1024, scheme="chash")
+    verifier.initialize()
+    verifier.write(0, b"tamper-evident")
+    assert verifier.read(0, 14) == b"tamper-evident"
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .common import (
+    IntegrityError,
+    SchemeKind,
+    SecureModeError,
+    SystemConfig,
+    table1_config,
+)
+from .crypto import HashFunction, Manufacturer, ProcessorSecret, XorMac
+from .hashtree import (
+    CachedHashTree,
+    HashTree,
+    IncrementalMacTree,
+    MemoryVerifier,
+    MultiBlockHashTree,
+    TreeLayout,
+)
+from .memory import (
+    DMAController,
+    DMADevice,
+    ReplayAdversary,
+    SpliceAdversary,
+    TamperAdversary,
+    UntrustedMemory,
+)
+from .sim import SimResult, SimulatedSystem, run_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IntegrityError",
+    "SchemeKind",
+    "SecureModeError",
+    "SystemConfig",
+    "table1_config",
+    "HashFunction",
+    "Manufacturer",
+    "ProcessorSecret",
+    "XorMac",
+    "CachedHashTree",
+    "HashTree",
+    "IncrementalMacTree",
+    "MemoryVerifier",
+    "MultiBlockHashTree",
+    "TreeLayout",
+    "DMAController",
+    "DMADevice",
+    "ReplayAdversary",
+    "SpliceAdversary",
+    "TamperAdversary",
+    "UntrustedMemory",
+    "SimResult",
+    "SimulatedSystem",
+    "run_benchmark",
+    "__version__",
+]

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``demo``
+    The quickstart: verified writes/reads, then a detected attack.
+``attacks``
+    Run the replay and MAC-forgery scenarios and print their outcomes.
+``bench BENCHMARK [--scheme S] [--l2-kb N] [--block B] [--instructions N]``
+    Run one simulation cell and print its metrics.
+``compare BENCHMARK``
+    Run all five schemes on one benchmark and print the comparison.
+``experiments``
+    List the paper's tables/figures and the bench target for each.
+``area``
+    Print the Section 6.1 hash-unit logic-overhead sizing.
+``trace BENCHMARK PATH [-n N]``
+    Save a deterministic instruction trace of a benchmark model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import EXPERIMENTS
+from .common import KB, SchemeKind, table1_config
+from .sim import run_benchmark
+from .workloads import BENCHMARK_ORDER
+
+
+def _cmd_demo(_args) -> int:
+    from .common import IntegrityError
+    from .hashtree import MemoryVerifier
+    from .memory import UntrustedMemory
+
+    memory = UntrustedMemory(1 << 20)
+    verifier = MemoryVerifier(memory, data_bytes=64 * 1024, scheme="chash")
+    verifier.initialize()
+    verifier.write(0, b"verified!")
+    print("wrote and read back:", verifier.read(0, 9).decode())
+    memory.poke(verifier.physical_address(0), b"X")
+    for chunk in range(verifier.layout.total_chunks):
+        verifier.tree.invalidate_chunk(chunk)
+    try:
+        verifier.read(0, 9)
+        print("BUG: tampering missed")
+        return 1
+    except IntegrityError as error:
+        print("tampering detected:", error)
+    return 0
+
+
+def _cmd_attacks(_args) -> int:
+    from .attacks import (
+        forge_chosen_value,
+        forge_stale_value,
+        run_loop_attack_on_xom,
+    )
+
+    outcome = run_loop_attack_on_xom()
+    print(f"XOM loop rewind: leaked {len(outcome.leaked)} words "
+          f"(intended {outcome.intended_iterations}) — "
+          f"{'UNDETECTED' if not outcome.detected else 'detected'}")
+    for name, attack in (("stale-value forgery", forge_stale_value),
+                         ("chosen-value forgery", forge_chosen_value)):
+        plain = attack(use_timestamps=False)
+        fixed = attack(use_timestamps=True)
+        print(f"{name}: without timestamps -> "
+              f"{'FORGED' if plain.succeeded else 'detected'}; "
+              f"with timestamps -> "
+              f"{'FORGED' if fixed.succeeded else 'detected'}")
+    return 0
+
+
+def _one_cell(args) -> int:
+    scheme = SchemeKind(args.scheme)
+    config = table1_config(scheme)
+    if args.l2_kb or args.block:
+        config = config.with_l2(
+            size_bytes=args.l2_kb * KB if args.l2_kb else None,
+            block_bytes=args.block or None,
+        )
+    result = run_benchmark(config, args.benchmark,
+                           instructions=args.instructions)
+    print(result.summary())
+    print(f"  cycles={result.cycles}  memory bytes={result.memory_bytes:.0f}  "
+          f"hash bytes={result.hash_memory_read_bytes:.0f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    results = {}
+    for scheme in SchemeKind:
+        config = table1_config(scheme)
+        results[scheme] = run_benchmark(config, args.benchmark,
+                                        instructions=args.instructions)
+        print(results[scheme].summary())
+    base = results[SchemeKind.BASE]
+    print()
+    for scheme in SchemeKind:
+        if scheme is SchemeKind.BASE:
+            continue
+        result = results[scheme]
+        print(f"{scheme.value:6s}: overhead {result.overhead_percent(base):6.1f}%  "
+              f"slowdown {result.slowdown(base):5.2f}x  "
+              f"extra reads/miss {result.extra_reads_per_miss:5.2f}")
+    return 0
+
+
+def _cmd_experiments(_args) -> int:
+    for experiment in EXPERIMENTS.values():
+        print(f"{experiment.paper_label:10s} -> {experiment.bench_target}")
+        print(f"    {experiment.description}")
+    return 0
+
+
+def _cmd_area(_args) -> int:
+    from .hashengine.area import logic_overhead_report
+    print(logic_overhead_report())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .workloads import save_trace, spec_workload
+    count = save_trace(spec_workload(args.benchmark, args.n, args.seed),
+                       args.path)
+    print(f"wrote {count} instructions of {args.benchmark!r} to {args.path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo")
+    sub.add_parser("attacks")
+    sub.add_parser("experiments")
+    sub.add_parser("area")
+
+    bench = sub.add_parser("bench")
+    bench.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    bench.add_argument("--scheme", default="chash",
+                       choices=[s.value for s in SchemeKind])
+    bench.add_argument("--l2-kb", type=int, default=0)
+    bench.add_argument("--block", type=int, default=0)
+    bench.add_argument("--instructions", type=int, default=12_000)
+
+    compare = sub.add_parser("compare")
+    compare.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    compare.add_argument("--instructions", type=int, default=12_000)
+
+    trace = sub.add_parser("trace")
+    trace.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    trace.add_argument("path")
+    trace.add_argument("-n", type=int, default=100_000)
+    trace.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "attacks": _cmd_attacks,
+        "bench": _one_cell,
+        "compare": _cmd_compare,
+        "experiments": _cmd_experiments,
+        "area": _cmd_area,
+        "trace": _cmd_trace,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Result tables and the experiment registry."""
+
+from .experiments import EXPERIMENTS, Experiment, experiment_index_markdown
+from .tables import (
+    format_table,
+    ipc_table,
+    metric_table,
+    relative_ipc_table,
+    series_table,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "experiment_index_markdown",
+    "format_table",
+    "ipc_table",
+    "metric_table",
+    "relative_ipc_table",
+    "series_table",
+]

@@ -1,0 +1,98 @@
+"""Tabular rendering of experiment results, one row/series per figure.
+
+The bench harness prints what the paper plots: grouped bars become rows of
+numbers, with the benchmarks in the paper's order.  Everything here is
+pure formatting over :class:`~repro.sim.results.SimResult` grids.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..sim.results import SimResult
+from ..workloads.spec import BENCHMARK_ORDER
+
+Grid = Dict[Tuple[str, str, str], SimResult]
+
+
+def format_table(
+    title: str,
+    column_labels: Sequence[str],
+    rows: Iterable[Tuple[str, Sequence[float]]],
+    value_format: str = "{:8.3f}",
+    row_header: str = "benchmark",
+) -> str:
+    """Render a simple fixed-width table."""
+    lines = [title, ""]
+    header = f"{row_header:10s}" + "".join(f"{label:>12s}" for label in column_labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in rows:
+        cells = "".join(f"{value_format.format(v):>12s}" for v in values)
+        lines.append(f"{name:10s}{cells}")
+    return "\n".join(lines)
+
+
+def ipc_table(
+    grid: Grid,
+    schemes: Sequence[str],
+    variant: str = "",
+    title: str = "IPC",
+    benchmarks: Sequence[str] = tuple(BENCHMARK_ORDER),
+) -> str:
+    rows = []
+    for benchmark in benchmarks:
+        rows.append(
+            (benchmark,
+             [grid[(benchmark, scheme, variant)].ipc for scheme in schemes])
+        )
+    return format_table(title, schemes, rows)
+
+
+def relative_ipc_table(
+    grid: Grid,
+    schemes: Sequence[str],
+    variant: str = "",
+    baseline: str = "base",
+    title: str = "IPC normalized to base",
+    benchmarks: Sequence[str] = tuple(BENCHMARK_ORDER),
+) -> str:
+    rows = []
+    for benchmark in benchmarks:
+        base = grid[(benchmark, baseline, variant)]
+        rows.append(
+            (benchmark,
+             [grid[(benchmark, scheme, variant)].ipc / base.ipc
+              if base.ipc else 0.0
+              for scheme in schemes])
+        )
+    return format_table(title, schemes, rows)
+
+
+def metric_table(
+    grid: Grid,
+    schemes: Sequence[str],
+    metric: Callable[[SimResult], float],
+    variant: str = "",
+    title: str = "metric",
+    value_format: str = "{:8.3f}",
+    benchmarks: Sequence[str] = tuple(BENCHMARK_ORDER),
+) -> str:
+    rows = []
+    for benchmark in benchmarks:
+        rows.append(
+            (benchmark,
+             [metric(grid[(benchmark, scheme, variant)]) for scheme in schemes])
+        )
+    return format_table(title, schemes, rows, value_format=value_format)
+
+
+def series_table(
+    title: str,
+    series_labels: Sequence[str],
+    per_benchmark: Dict[str, List[float]],
+    value_format: str = "{:8.3f}",
+    benchmarks: Sequence[str] = tuple(BENCHMARK_ORDER),
+) -> str:
+    rows = [(b, per_benchmark[b]) for b in benchmarks if b in per_benchmark]
+    return format_table(title, series_labels, rows, value_format=value_format)

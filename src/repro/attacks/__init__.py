@@ -1,0 +1,25 @@
+"""Executable attack scenarios from the paper (Sections 4.4 and 5.4.1)."""
+
+from .macforge import (
+    ForgeryOutcome,
+    WriteBackInterceptor,
+    forge_chosen_value,
+    forge_stale_value,
+)
+from .replay import (
+    LoopAttackOutcome,
+    XomLikeMemory,
+    run_loop_attack_on_tree,
+    run_loop_attack_on_xom,
+)
+
+__all__ = [
+    "ForgeryOutcome",
+    "WriteBackInterceptor",
+    "forge_chosen_value",
+    "forge_stale_value",
+    "LoopAttackOutcome",
+    "XomLikeMemory",
+    "run_loop_attack_on_tree",
+    "run_loop_attack_on_xom",
+]

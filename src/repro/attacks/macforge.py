@@ -1,0 +1,164 @@
+"""Forging the timestamp-less incremental MAC (Section 5.4.1).
+
+The ihash write-back reads the block's *old* value from memory without
+checking it.  The paper shows two concrete forgeries against the bare
+XOR-MAC, both of which cancel algebraically because the adversary controls
+that unchecked read:
+
+* **stale-value forgery** — the adversary *predicts the new value* ``d_n``
+  (easy for, say, a counter), answers the unchecked old-value read with
+  ``d_n`` and drops the write.  The MAC update cancels to a no-op, so the
+  tree happily keeps certifying the stale ``d_o``.
+* **chosen-value forgery** — when the program writes back an *unchanged*
+  value (``d_n == d_o``), the adversary answers the unchecked read with a
+  value ``x`` of his choosing and stores ``x``: the update turns the MAC
+  into one that certifies ``x``.
+
+Both attacks are implemented against the functional
+:class:`~repro.hashtree.incremental.IncrementalMacTree`; they succeed with
+``use_timestamps=False`` and are *detected* with the one-bit timestamps on
+(the paper's fix), which is asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.errors import IntegrityError
+from ..hashtree.incremental import IncrementalMacTree
+from ..hashtree.layout import TreeLayout
+from ..memory.adversary import Adversary
+from ..memory.main_memory import UntrustedMemory
+
+
+class WriteBackInterceptor(Adversary):
+    """One-shot probe on the ihash write-back of one block.
+
+    Answers the first covering read (the unchecked old-value read) with
+    ``fake_old_value`` and replaces the first covering write with
+    ``stored_value`` (None keeps memory unchanged, i.e. drops the write).
+    Disarms itself afterwards so later verification traffic is untouched.
+    """
+
+    def __init__(self, target_address: int, length: int,
+                 fake_old_value: bytes,
+                 stored_value: Optional[bytes]):
+        super().__init__()
+        if len(fake_old_value) != length:
+            raise ValueError("fake_old_value must match the block length")
+        self.target_address = target_address
+        self.length = length
+        self.fake_old_value = fake_old_value
+        self.stored_value = stored_value
+        self._read_done = False
+        self._write_done = False
+
+    def _covers(self, address: int, size: int) -> bool:
+        return (address <= self.target_address
+                and self.target_address + self.length <= address + size)
+
+    def on_read(self, memory, address, data):
+        if not self.armed or self._read_done or not self._covers(address, len(data)):
+            return data
+        offset = self.target_address - address
+        forged = bytearray(data)
+        forged[offset: offset + self.length] = self.fake_old_value
+        self._read_done = True
+        self._log("answered unchecked old-value read with forged bytes")
+        return bytes(forged)
+
+    def on_write(self, memory, address, data):
+        if not self.armed or self._write_done or not self._covers(address, len(data)):
+            return data
+        offset = self.target_address - address
+        kept = bytearray(data)
+        if self.stored_value is None:
+            old = memory.peek(address, len(data))
+            kept[offset: offset + self.length] = old[offset: offset + self.length]
+            self._log("dropped the block write (stale value kept)")
+        else:
+            kept[offset: offset + self.length] = self.stored_value
+            self._log("substituted the stored value")
+        self._write_done = True
+        self.armed = False
+        return bytes(kept)
+
+
+@dataclass
+class ForgeryOutcome:
+    """Result of one forgery attempt."""
+
+    detected: bool            #: an IntegrityError fired
+    value_read_back: Optional[bytes]  #: what a later verified read returned
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.detected
+
+
+def _build_tree(use_timestamps: bool) -> tuple[UntrustedMemory, IncrementalMacTree, int]:
+    layout = TreeLayout(32 * 128, 128, 16)
+    memory = UntrustedMemory(layout.physical_bytes)
+    tree = IncrementalMacTree(
+        memory, layout, blocks_per_chunk=2, capacity_blocks=8,
+        use_timestamps=use_timestamps,
+    )
+    tree.initialize_from_memory()
+    target_physical = layout.chunk_address(layout.first_leaf)  # block 0 of leaf 0
+    return memory, tree, target_physical
+
+
+def forge_stale_value(use_timestamps: bool) -> ForgeryOutcome:
+    """The predicted-new-value attack: keep ``d_o`` while certifying it.
+
+    The victim increments a counter from 1 to 2; the adversary predicts
+    the 2 and suppresses it.
+    """
+    memory, tree, target = _build_tree(use_timestamps)
+    old_value = (1).to_bytes(8, "big") + bytes(56)
+    new_value = (2).to_bytes(8, "big") + bytes(56)
+    tree.write(0, old_value)
+    tree.flush()
+
+    memory.adversary = WriteBackInterceptor(
+        target, 64, fake_old_value=new_value, stored_value=None
+    )
+    tree.write(0, new_value)
+    try:
+        tree.flush()  # the intercepted write-back happens here
+        memory.adversary = None
+        for chunk in range(tree.layout.total_chunks):
+            tree.invalidate_chunk(chunk)
+        read_back = tree.read(0, 64)
+        return ForgeryOutcome(detected=False, value_read_back=read_back)
+    except IntegrityError:
+        return ForgeryOutcome(detected=True, value_read_back=None)
+
+
+def forge_chosen_value(use_timestamps: bool,
+                       chosen: bytes = b"\xbd" * 64) -> ForgeryOutcome:
+    """The unchanged-value attack: implant an attacker-chosen block.
+
+    The victim writes back an unchanged block; the adversary answers the
+    unchecked read with ``chosen`` and stores ``chosen``.
+    """
+    memory, tree, target = _build_tree(use_timestamps)
+    value = b"\x11" * 64
+    tree.write(0, value)
+    tree.flush()
+
+    memory.adversary = WriteBackInterceptor(
+        target, 64, fake_old_value=chosen, stored_value=chosen
+    )
+    # dirty the block with the *same* value so d_n == d_o at write-back
+    tree.write(0, value)
+    try:
+        tree.flush()
+        memory.adversary = None
+        for chunk in range(tree.layout.total_chunks):
+            tree.invalidate_chunk(chunk)
+        read_back = tree.read(0, 64)
+        return ForgeryOutcome(detected=False, value_read_back=read_back)
+    except IntegrityError:
+        return ForgeryOutcome(detected=True, value_read_back=None)

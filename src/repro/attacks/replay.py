@@ -1,0 +1,168 @@
+"""The XOM replay attack (Section 4.4) as executable scenarios.
+
+XOM protects off-chip data with a per-block MAC that binds the *address*
+but not the *version*: memory can legitimately answer a read with any
+value that was ever stored at that address during the execution.  The
+paper's example: a loop counter ``i`` spilled to memory can be rewound by
+the adversary, making an output loop run far past its bound and leak the
+rest of the data segment.
+
+:class:`XomLikeMemory` implements that per-block MAC scheme over an
+:class:`~repro.memory.main_memory.UntrustedMemory`;
+:func:`run_loop_attack` mounts the rewind against it (succeeds) and
+against a hash-tree :class:`~repro.hashtree.verifier.MemoryVerifier`
+(raises :class:`~repro.common.errors.IntegrityError`), which is exactly
+the paper's argument for fixing XOM with tree-based verification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import List
+
+from ..common.errors import IntegrityError
+from ..memory.adversary import ReplayAdversary
+from ..memory.main_memory import UntrustedMemory
+
+
+class XomLikeMemory:
+    """Address-bound per-block MACs, no freshness — XOM's off-chip scheme.
+
+    Every ``block_bytes`` block is stored with
+    ``HMAC(key, address || data)``.  Spoofing and splicing are caught;
+    replaying an *older* (data, mac) pair for the same address is not.
+    """
+
+    def __init__(self, memory: UntrustedMemory, key: bytes = b"xom-key",
+                 block_bytes: int = 64, mac_bytes: int = 16):
+        self.memory = memory
+        self.key = key
+        self.block_bytes = block_bytes
+        self.mac_bytes = mac_bytes
+        self._entry = block_bytes + mac_bytes
+
+    def _mac(self, address: int, data: bytes) -> bytes:
+        payload = address.to_bytes(8, "big") + data
+        return hmac.new(self.key, payload, hashlib.sha256).digest()[: self.mac_bytes]
+
+    def _slot(self, address: int) -> int:
+        if address % self.block_bytes:
+            raise ValueError("block-aligned addresses only")
+        return (address // self.block_bytes) * self._entry
+
+    def write_block(self, address: int, data: bytes) -> None:
+        if len(data) != self.block_bytes:
+            raise ValueError("whole blocks only")
+        slot = self._slot(address)
+        self.memory.write(slot, data + self._mac(address, data))
+
+    def read_block(self, address: int) -> bytes:
+        slot = self._slot(address)
+        raw = self.memory.read(slot, self._entry)
+        data, mac = raw[: self.block_bytes], raw[self.block_bytes:]
+        if not hmac.compare_digest(mac, self._mac(address, data)):
+            raise IntegrityError("XOM MAC check failed", address=address)
+        return data
+
+
+@dataclass
+class LoopAttackOutcome:
+    """What the output loop leaked."""
+
+    iterations: int
+    leaked: List[bytes] = field(default_factory=list)
+    detected: bool = False
+
+    @property
+    def leaked_beyond_bound(self) -> bool:
+        return self.iterations > self.intended_iterations
+
+    intended_iterations: int = 0
+
+
+def run_loop_attack_on_xom(
+    secret_words: int = 8, intended_iterations: int = 2
+) -> LoopAttackOutcome:
+    """Mount the Section 4.4 loop-counter rewind against XOM-style MACs.
+
+    The victim program copies ``intended_iterations`` words out of its
+    compartment, spilling the loop counter ``i`` to memory each iteration.
+    The adversary records the memory image of the counter block during the
+    first iteration and replays it on every later read, so the loop never
+    sees ``i`` reach its bound and walks off into the secret data.
+    """
+    block = 64
+    counter_address = 0
+    data_base = block  # secret array right after the counter's block
+    adversary = ReplayAdversary(target_address=0, length=block + 16)
+    memory = UntrustedMemory(64 * 1024, adversary=adversary)
+    xom = XomLikeMemory(memory)
+
+    # victim initializes its secrets and the counter
+    for word in range(secret_words):
+        payload = bytes([0xA0 + word]) * block
+        xom.write_block(data_base + word * block, payload)
+    xom.write_block(counter_address, (0).to_bytes(8, "big") + bytes(block - 8))
+
+    outcome = LoopAttackOutcome(iterations=0,
+                                intended_iterations=intended_iterations)
+    max_iterations = secret_words  # where the data segment ends
+    while True:
+        counter_block = xom.read_block(counter_address)
+        i = int.from_bytes(counter_block[:8], "big")
+        if i >= intended_iterations or outcome.iterations >= max_iterations:
+            break
+        # the data pointer lives in a register (paper: outputdata(*data++)),
+        # so it keeps advancing even while the memory-held counter is rewound
+        outcome.leaked.append(
+            xom.read_block(data_base + outcome.iterations * block)[:8])
+        outcome.iterations += 1
+        new_counter = (i + 1).to_bytes(8, "big") + bytes(block - 8)
+        xom.write_block(counter_address, new_counter)
+        if outcome.iterations == 1:
+            # the adversary snapshotted i=1's stored image on that write;
+            # from now on every read of the counter is rewound
+            adversary.start_replaying()
+    return outcome
+
+
+def run_loop_attack_on_tree(
+    verifier, secret_words: int = 8, intended_iterations: int = 2
+) -> LoopAttackOutcome:
+    """The same victim + adversary against a hash-tree verifier.
+
+    ``verifier`` must be a :class:`MemoryVerifier` whose memory has a
+    :class:`ReplayAdversary` watching the counter's physical block.  The
+    rewind is detected on the first replayed read.
+    """
+    block = 64
+    counter_address = 0
+    data_base = block
+    adversary = verifier.memory.adversary
+    for word in range(secret_words):
+        verifier.write(data_base + word * block, bytes([0xA0 + word]) * block)
+    verifier.write(counter_address, (0).to_bytes(8, "big"))
+    verifier.flush()
+
+    outcome = LoopAttackOutcome(iterations=0,
+                                intended_iterations=intended_iterations)
+    try:
+        while True:
+            verifier.flush()
+            for chunk in range(verifier.layout.total_chunks):
+                verifier.tree.invalidate_chunk(chunk)  # force memory reads
+            i = int.from_bytes(verifier.read(counter_address, 8), "big")
+            if i >= intended_iterations or outcome.iterations >= secret_words:
+                break
+            outcome.leaked.append(
+                verifier.read(data_base + outcome.iterations * block, 8))
+            outcome.iterations += 1
+            verifier.write(counter_address, (i + 1).to_bytes(8, "big"))
+            verifier.flush()
+            if outcome.iterations == 1 and adversary is not None:
+                adversary.start_replaying()
+    except IntegrityError:
+        outcome.detected = True
+    return outcome

@@ -1,0 +1,14 @@
+"""Cache, TLB and memory-hierarchy timing simulators."""
+
+from .cache import AccessResult, CacheSim, FillResult
+from .hierarchy import DEFAULT_PROTECTED_BYTES, MemoryHierarchy
+from .tlb import TLBSim
+
+__all__ = [
+    "AccessResult",
+    "CacheSim",
+    "FillResult",
+    "DEFAULT_PROTECTED_BYTES",
+    "MemoryHierarchy",
+    "TLBSim",
+]

@@ -1,0 +1,159 @@
+"""Set-associative cache timing simulator (tags only).
+
+The functional byte-moving caches live in :mod:`repro.hashtree`; this
+simulator tracks tags, LRU state and dirty bits to produce hit/miss
+streams and victim information for the performance model.  Accesses carry
+a *kind* label (``data``, ``hash``, ``instr``) so cache pollution by tree
+nodes is measurable per request class — that separation is exactly what
+Figure 4 of the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common.config import CacheConfig
+from ..common.stats import StatGroup
+from ..common.units import log2_exact
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a cache access (state already updated)."""
+
+    hit: bool
+    #: True when the access found the line dirty (for write-back decisions).
+    was_dirty: bool = False
+
+
+@dataclass(frozen=True)
+class FillResult:
+    """Outcome of allocating a line after a miss."""
+
+    victim_address: Optional[int]
+    victim_dirty: bool
+
+
+#: supported victim-selection policies.
+REPLACEMENT_POLICIES = ("lru", "fifo", "random")
+
+
+class CacheSim:
+    """Set-associative write-back cache, tags only.
+
+    ``policy`` selects the victim: ``lru`` (the paper's machine), ``fifo``
+    (no promotion on hit) or ``random`` (seeded, deterministic) — the
+    latter two exist for sensitivity studies.
+    """
+
+    def __init__(self, config: CacheConfig, policy: str = "lru",
+                 seed: int = 0x5EED):
+        if policy not in REPLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {REPLACEMENT_POLICIES}"
+            )
+        self.config = config
+        self.policy = policy
+        self.stats = StatGroup(config.name)
+        self._offset_bits = log2_exact(config.block_bytes)
+        self._n_sets = config.n_sets
+        #: per-set eviction-order list of block addresses (victim at the end).
+        self._sets: List[List[int]] = [[] for _ in range(self._n_sets)]
+        self._dirty: set[int] = set()
+        import random as _random
+        self._rng = _random.Random(seed)
+
+    # -- address helpers --------------------------------------------------------
+
+    def block_address(self, address: int) -> int:
+        return (address >> self._offset_bits) << self._offset_bits
+
+    def _set_index(self, block_address: int) -> int:
+        return (block_address >> self._offset_bits) % self._n_sets
+
+    # -- lookups -----------------------------------------------------------------
+
+    def access(self, address: int, write: bool = False, kind: str = "data") -> AccessResult:
+        """Look up ``address``; on hit, update LRU and dirtiness.
+
+        Misses do *not* allocate — the caller decides when the fill happens
+        (after the block arrives) via :meth:`fill`.
+        """
+        block = self.block_address(address)
+        ways = self._sets[self._set_index(block)]
+        self.stats.add(f"{kind}_accesses")
+        if write:
+            self.stats.add(f"{kind}_writes")
+        if block in ways:
+            if self.policy == "lru":
+                ways.remove(block)
+                ways.insert(0, block)
+            self.stats.add(f"{kind}_hits")
+            was_dirty = block in self._dirty
+            if write:
+                self._dirty.add(block)
+            return AccessResult(hit=True, was_dirty=was_dirty)
+        self.stats.add(f"{kind}_misses")
+        return AccessResult(hit=False)
+
+    def probe(self, address: int) -> bool:
+        """Presence test with no LRU/stat side effects."""
+        block = self.block_address(address)
+        return block in self._sets[self._set_index(block)]
+
+    def is_dirty(self, address: int) -> bool:
+        return self.block_address(address) in self._dirty
+
+    def fill(self, address: int, dirty: bool = False, kind: str = "data") -> FillResult:
+        """Allocate ``address``'s block, evicting the LRU way if needed."""
+        block = self.block_address(address)
+        ways = self._sets[self._set_index(block)]
+        if block in ways:  # racing fill (e.g. two misses to one block)
+            ways.remove(block)
+            ways.insert(0, block)
+            if dirty:
+                self._dirty.add(block)
+            return FillResult(None, False)
+        victim_address = None
+        victim_dirty = False
+        if len(ways) >= self.config.associativity:
+            if self.policy == "random":
+                victim_address = ways.pop(self._rng.randrange(len(ways)))
+            else:  # lru and fifo both evict from the tail
+                victim_address = ways.pop()
+            victim_dirty = victim_address in self._dirty
+            self._dirty.discard(victim_address)
+            self.stats.add("evictions")
+            if victim_dirty:
+                self.stats.add("dirty_evictions")
+        ways.insert(0, block)
+        if dirty:
+            self._dirty.add(block)
+        self.stats.add(f"{kind}_fills")
+        return FillResult(victim_address, victim_dirty)
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a block if present; returns whether it was dirty."""
+        block = self.block_address(address)
+        ways = self._sets[self._set_index(block)]
+        if block not in ways:
+            return False
+        ways.remove(block)
+        dirty = block in self._dirty
+        self._dirty.discard(block)
+        return dirty
+
+    def mark_clean(self, address: int) -> None:
+        self._dirty.discard(self.block_address(address))
+
+    # -- metrics -------------------------------------------------------------------
+
+    def miss_rate(self, kind: str = "data") -> float:
+        return self.stats.ratio(f"{kind}_misses", f"{kind}_accesses")
+
+    def occupancy(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CacheSim({self.config.name}, {self.config.size_bytes} B)"

@@ -1,0 +1,179 @@
+"""The full memory hierarchy: L1 I/D, TLBs, unified L2, scheme, memory.
+
+This is what the core model talks to.  Responsibilities:
+
+* L1 lookups and fills (write-back, write-allocate, inclusive in spirit:
+  an L1 miss always consults the L2, and L1 dirty victims are written
+  into the L2);
+* forwarding L2 data/instruction misses to the configured
+  :mod:`integrity scheme <repro.schemes>`, which owns all traffic between
+  the L2 and main memory;
+* the §5.3 valid-bit write-allocate optimization: a store stream that
+  fully overwrites a block allocates it dirty with no fetch and no check
+  (workloads mark such stores; the flag can be disabled for ablation).
+
+Timing is request-level: every call takes ``now`` and returns completion
+times computed against the shared busy-until resources (bus, hash
+pipeline, hash buffers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..common.config import SchemeKind, SystemConfig
+from ..common.stats import StatGroup, merge_groups
+from ..common.units import GB
+from ..dram.bus import MainMemoryTiming
+from ..hashengine.engine import HashEngineTiming
+from ..hashtree.layout import TreeLayout
+from ..schemes import build_scheme
+from .cache import CacheSim
+from .tlb import TLBSim
+
+#: Default protected-memory size: a full 4 GB physical space, giving the
+#: 12-13 level tree behind the paper's "thirteen additional accesses".
+DEFAULT_PROTECTED_BYTES = 4 * GB
+
+
+class MemoryHierarchy:
+    """L1s + L2 + TLBs + integrity scheme + bus/DRAM, as one object."""
+
+    def __init__(self, config: SystemConfig,
+                 protected_bytes: int = DEFAULT_PROTECTED_BYTES):
+        self.config = config
+        self.l1i = CacheSim(config.l1i)
+        self.l1d = CacheSim(config.l1d)
+        self.l2 = CacheSim(config.l2)
+        self.itlb = TLBSim(config.tlb, name="itlb")
+        self.dtlb = TLBSim(config.tlb, name="dtlb")
+        self.memory = MainMemoryTiming(config.bus, config.dram)
+        self.engine = HashEngineTiming(config.hash_engine)
+        if config.scheme is SchemeKind.BASE:
+            self.layout: Optional[TreeLayout] = None
+        else:
+            tree = config.tree
+            self.layout = TreeLayout(protected_bytes, tree.chunk_bytes,
+                                     tree.hash_bytes)
+        self.scheme = build_scheme(config, self.l2, self.memory, self.engine,
+                                   self.layout)
+        self.stats = StatGroup("hierarchy")
+        self._l1_latency = config.l1d.latency_cycles
+        self._l2_latency = config.l2.latency_cycles
+
+    # -- core-facing operations ------------------------------------------------------
+
+    def load(self, address: int, now: int) -> Tuple[int, int]:
+        """Data load; returns ``(data_ready, check_done)``."""
+        now += self.dtlb.access(address)
+        physical = self.scheme.data_address(address)
+        if self.l1d.access(physical, write=False).hit:
+            ready = now + self._l1_latency
+            return ready, ready
+        return self._l1_miss(physical, now + self._l1_latency, write=False,
+                             kind="data", l1=self.l1d)
+
+    def store(self, address: int, now: int,
+              full_block: bool = False) -> Tuple[int, int]:
+        """Data store; returns ``(done, check_done)``.
+
+        ``full_block`` marks a store stream that overwrites the whole L2
+        block (the valid-bit optimization applies when enabled).
+        """
+        now += self.dtlb.access(address)
+        physical = self.scheme.data_address(address)
+        if self.l1d.access(physical, write=True).hit:
+            done = now + self._l1_latency
+            return done, done
+        if full_block and self.config.write_allocate_valid_bits:
+            return self._full_block_store_miss(physical, now)
+        return self._l1_miss(physical, now + self._l1_latency, write=True,
+                             kind="data", l1=self.l1d)
+
+    def ifetch(self, address: int, now: int) -> Tuple[int, int]:
+        """Instruction fetch; returns ``(ready, check_done)``."""
+        now += self.itlb.access(address)
+        physical = self.scheme.data_address(address)
+        if self.l1i.access(physical, write=False).hit:
+            ready = now + self.config.l1i.latency_cycles
+            return ready, ready
+        return self._l1_miss(physical, now + self.config.l1i.latency_cycles,
+                             write=False, kind="instr", l1=self.l1i)
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _l1_miss(self, physical: int, now: int, write: bool, kind: str,
+                 l1: CacheSim) -> Tuple[int, int]:
+        lookup = self.l2.access(physical, write=False, kind=kind)
+        if lookup.hit:
+            ready = now + self._l2_latency
+            self._fill_l1(l1, physical, dirty=write, now=now)
+            return ready, ready
+        outcome = self.scheme.handle_data_miss(physical, now, write=False)
+        self._fill_l1(l1, physical, dirty=write, now=now)
+        self.stats.max("latest_check", outcome.check_done)
+        return outcome.data_ready, outcome.check_done
+
+    def _full_block_store_miss(self, physical: int, now: int) -> Tuple[int, int]:
+        """Streaming store: allocate dirty everywhere, fetch nothing."""
+        self.stats.add("full_block_store_allocations")
+        lookup = self.l2.access(physical, write=True, kind="data")
+        if not lookup.hit:
+            # valid-bit allocation: no fetch, no check (Section 5.3)
+            self.scheme._fill_l2(physical, now, dirty=True, kind="data")
+        self._fill_l1(self.l1d, physical, dirty=True, now=now)
+        done = now + self._l1_latency
+        return done, done
+
+    def _fill_l1(self, l1: CacheSim, physical: int, dirty: bool, now: int) -> None:
+        result = l1.fill(physical, dirty=dirty)
+        if result.victim_address is not None and result.victim_dirty:
+            self._l1_victim_writeback(result.victim_address, now)
+
+    def _l1_victim_writeback(self, victim: int, now: int) -> None:
+        self.stats.add("l1_writebacks")
+        lookup = self.l2.access(victim, write=True, kind="data")
+        if not lookup.hit:
+            # L2 no longer holds the line: write-allocate it back
+            # (rare; the L2 is far larger than the L1)
+            self.stats.add("l1_writeback_l2_misses")
+            self.scheme.handle_data_miss(victim, now, write=True)
+
+    # -- functional warm-up ----------------------------------------------------------------
+
+    def warm(self, instructions) -> None:
+        """Replay memory references with timing disabled.
+
+        Evolves every piece of cache/TLB state — including the hash blocks
+        the scheme allocates in the L2, which is what makes chash work —
+        through the *identical* code paths, but with the bus and hash
+        engine free and instantaneous.  This stands in for the paper's
+        1.5-billion-instruction fast-forward at tractable cost.
+        """
+        self.memory.timing_enabled = False
+        self.engine.timing_enabled = False
+        try:
+            last_line = -1
+            for instruction in instructions:
+                line = instruction.pc >> 5
+                if line != last_line:
+                    self.ifetch(instruction.pc, 0)
+                    last_line = line
+                if instruction.kind == "load":
+                    self.load(instruction.address, 0)
+                elif instruction.kind == "store":
+                    self.store(instruction.address, 0,
+                               full_block=instruction.full_block)
+        finally:
+            self.memory.timing_enabled = True
+            self.engine.timing_enabled = True
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def all_stats(self) -> dict:
+        return merge_groups(
+            self.l1i.stats, self.l1d.stats, self.l2.stats,
+            self.itlb.stats, self.dtlb.stats,
+            self.memory.stats, self.engine.stats,
+            self.scheme.stats, self.stats,
+        )

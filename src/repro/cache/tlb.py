@@ -1,0 +1,40 @@
+"""TLB timing model (Table 1: 4-way, 128 entries, I and D)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common.config import TLBConfig
+from ..common.stats import StatGroup
+from ..common.units import log2_exact
+
+
+class TLBSim:
+    """Set-associative TLB; a miss costs a fixed table-walk penalty."""
+
+    def __init__(self, config: TLBConfig, name: str = "tlb"):
+        self.config = config
+        self.stats = StatGroup(name)
+        self._page_bits = log2_exact(config.page_bytes)
+        self._n_sets = config.entries // config.associativity
+        self._sets: List[List[int]] = [[] for _ in range(self._n_sets)]
+
+    def access(self, address: int) -> int:
+        """Translate ``address``; returns the added latency in cycles."""
+        page = address >> self._page_bits
+        ways = self._sets[page % self._n_sets]
+        self.stats.add("accesses")
+        if page in ways:
+            ways.remove(page)
+            ways.insert(0, page)
+            self.stats.add("hits")
+            return 0
+        self.stats.add("misses")
+        if len(ways) >= self.config.associativity:
+            ways.pop()
+        ways.insert(0, page)
+        return self.config.miss_penalty_cycles
+
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.ratio("misses", "accesses")

@@ -1,0 +1,15 @@
+"""Certified execution on verified memory (Section 4.1)."""
+
+from .protocol import Alice, CertifiedResult, SecureProcessor
+from .vm import OPCODES, StackMachine, VMError, VMLimits, assemble
+
+__all__ = [
+    "Alice",
+    "CertifiedResult",
+    "SecureProcessor",
+    "OPCODES",
+    "StackMachine",
+    "VMError",
+    "VMLimits",
+    "assemble",
+]

@@ -1,0 +1,109 @@
+"""Certified execution: the Alice-and-Bob protocol of Section 4.1.
+
+Alice has a program; Bob has an idle machine with a secure processor.
+The processor:
+
+1. derives a key unique to (processor secret, Alice's program) through a
+   collision-resistant combination;
+2. enters secure mode — the initialization procedure of Section 5.8
+   covers all of the program's memory with the hash tree;
+3. runs the program with every load and store verified;
+4. signs the result under the derived key **after a verification barrier**
+   (Section 5.9): the signature only exists if every check passed.
+
+If Bob (or anyone on the bus) tampers with memory, the run dies with an
+:class:`~repro.common.errors.IntegrityError` before step 4 — no valid
+certificate can be produced for a corrupted computation, which is the
+whole point.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..common.errors import IntegrityError
+from ..crypto.keys import Manufacturer, ProcessorSecret, Signature
+from ..hashtree.verifier import MemoryVerifier
+from ..memory.main_memory import UntrustedMemory
+from .vm import StackMachine, VMLimits, assemble
+
+
+@dataclass
+class CertifiedResult:
+    """What Bob sends back to Alice."""
+
+    value: Optional[int]
+    signature: Optional[Signature]
+    #: tampering detected: no signature exists, the run aborted.
+    aborted: bool = False
+
+
+class SecureProcessor:
+    """A processor package: secret + verified memory + the little VM."""
+
+    def __init__(
+        self,
+        secret: ProcessorSecret,
+        memory: UntrustedMemory,
+        data_bytes: int = 64 * 1024,
+        scheme: str = "chash",
+        limits: Optional[VMLimits] = None,
+    ):
+        self.secret = secret
+        self.memory = memory
+        self.data_bytes = data_bytes
+        self.scheme = scheme
+        self.limits = limits
+
+    def execute_certified(
+        self, program: List[tuple], inputs: Optional[List[Tuple[int, int]]] = None
+    ) -> CertifiedResult:
+        """Run Alice's ``program`` and sign its result.
+
+        ``inputs`` is a list of ``(data_address, value)`` pairs written
+        into the program's verified heap before it starts.
+        """
+        code = assemble(program)
+        # 1. derive the program key (before anything untrusted can interfere)
+        program_key_text = code
+        # 2. enter secure mode: tree over the protected segment
+        verifier = MemoryVerifier(self.memory, self.data_bytes, scheme=self.scheme)
+        verifier.initialize()
+        machine = StackMachine(verifier, self.limits)
+        try:
+            machine.load_program(code)
+            for address, value in inputs or []:
+                machine.poke_data(address, value)
+            # 3. run with every access verified
+            value = machine.run()
+            # 4. verification barrier: flush outstanding state, then any
+            # remaining inconsistency surfaces before the signature exists
+            verifier.flush()
+            signature = self.secret.sign(program_key_text, _encode_result(value))
+            return CertifiedResult(value=value, signature=signature)
+        except IntegrityError:
+            # tampering detected: abort, produce no certificate
+            return CertifiedResult(value=None, signature=None, aborted=True)
+
+
+def _encode_result(value: int) -> bytes:
+    return struct.pack(">q", value)
+
+
+class Alice:
+    """The remote user: sends a program, checks the certificate."""
+
+    def __init__(self, manufacturer: Manufacturer, program: List[tuple]):
+        self.manufacturer = manufacturer
+        self.program = program
+        self._code = assemble(program)
+
+    def accepts(self, result: CertifiedResult) -> bool:
+        """Would Alice trust this result?"""
+        if result.aborted or result.signature is None:
+            return False
+        if result.signature.message != _encode_result(result.value):
+            return False
+        return self.manufacturer.verify(self._code, result.signature)

@@ -1,0 +1,178 @@
+"""A small stack machine that runs entirely out of verified memory.
+
+The certified-execution story (Section 4.1) needs an actual program whose
+state lives in the untrusted RAM: this VM keeps its *stack, its variables
+and its program text* in protected memory behind a
+:class:`~repro.hashtree.verifier.MemoryVerifier`, so any physical attack
+on RAM either has no effect or kills the run with an
+:class:`~repro.common.errors.IntegrityError` — exactly the guarantee the
+paper's processor provides.
+
+Instruction set (one byte opcode, big-endian operands)::
+
+    PUSH  imm64  | ADD | SUB | MUL | DUP | SWAP | POP
+    LOAD  addr32   push  mem[addr]
+    STORE addr32   mem[addr] = pop
+    JMP   off32    unconditional, absolute
+    JNZ   off32    jump if pop != 0
+    HALT           stop; top of stack is the result
+
+Memory layout inside the protected segment::
+
+    [ 0,             code_limit)   program text
+    [ code_limit,    stack_limit)  operand stack (grows up)
+    [ stack_limit,   data_bytes)   program heap/variables
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common.errors import ReproError
+from ..hashtree.verifier import MemoryVerifier
+
+OPCODES = {
+    "PUSH": 0x01, "ADD": 0x02, "SUB": 0x03, "MUL": 0x04, "DUP": 0x05,
+    "SWAP": 0x06, "POP": 0x07, "LOAD": 0x08, "STORE": 0x09, "JMP": 0x0A,
+    "JNZ": 0x0B, "HALT": 0x0C,
+}
+_NAMES = {value: name for name, value in OPCODES.items()}
+
+WORD = 8
+
+
+class VMError(ReproError):
+    """Malformed program or runtime fault (not an integrity failure)."""
+
+
+@dataclass
+class VMLimits:
+    code_limit: int = 4096
+    stack_limit: int = 8192  # end of the stack region
+    max_steps: int = 1_000_000
+
+
+def assemble(program: List[tuple]) -> bytes:
+    """Assemble ``[(op, operand?), ...]`` into VM bytecode.
+
+    >>> assemble([("PUSH", 2), ("PUSH", 3), ("ADD",), ("HALT",)]).hex()
+    '010000000000000002010000000000000003020c'
+    """
+    code = bytearray()
+    for entry in program:
+        op = entry[0]
+        if op not in OPCODES:
+            raise VMError(f"unknown opcode {op!r}")
+        code.append(OPCODES[op])
+        if op == "PUSH":
+            code += struct.pack(">q", entry[1])
+        elif op in ("LOAD", "STORE", "JMP", "JNZ"):
+            code += struct.pack(">I", entry[1])
+    return bytes(code)
+
+
+class StackMachine:
+    """Executes bytecode with all state held in verified memory."""
+
+    def __init__(self, verifier: MemoryVerifier, limits: Optional[VMLimits] = None):
+        self.verifier = verifier
+        self.limits = limits if limits is not None else VMLimits()
+        if self.limits.stack_limit >= verifier.layout.data_bytes:
+            raise VMError("protected segment too small for the VM layout")
+        self._sp = self.limits.code_limit  # next free stack slot
+
+    # -- stack helpers (each a verified memory access) -----------------------------
+
+    def _push(self, value: int) -> None:
+        if self._sp + WORD > self.limits.stack_limit:
+            raise VMError("stack overflow")
+        self.verifier.write(self._sp, struct.pack(">q", value))
+        self._sp += WORD
+
+    def _pop(self) -> int:
+        if self._sp - WORD < self.limits.code_limit:
+            raise VMError("stack underflow")
+        self._sp -= WORD
+        return struct.unpack(">q", self.verifier.read(self._sp, WORD))[0]
+
+    def _data_address(self, address: int) -> int:
+        target = self.limits.stack_limit + address
+        if not self.limits.stack_limit <= target < self.verifier.layout.data_bytes:
+            raise VMError(f"data address {address} out of range")
+        return target
+
+    # -- program loading / execution -------------------------------------------------
+
+    def load_program(self, code: bytes) -> None:
+        if len(code) > self.limits.code_limit:
+            raise VMError("program too large")
+        self.verifier.write(0, code)
+        self._code_length = len(code)
+
+    def poke_data(self, address: int, value: int) -> None:
+        """Write a program variable (verified)."""
+        self.verifier.write(self._data_address(address), struct.pack(">q", value))
+
+    def peek_data(self, address: int) -> int:
+        return struct.unpack(
+            ">q", self.verifier.read(self._data_address(address), WORD)
+        )[0]
+
+    def run(self) -> int:
+        """Execute until HALT; returns the result on top of the stack."""
+        pc = 0
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.limits.max_steps:
+                raise VMError("step limit exceeded")
+            if not 0 <= pc < self._code_length:
+                raise VMError(f"pc {pc} outside program")
+            op = self.verifier.read(pc, 1)[0]
+            name = _NAMES.get(op)
+            if name is None:
+                raise VMError(f"illegal opcode {op:#x} at {pc}")
+            pc += 1
+            if name == "PUSH":
+                value = struct.unpack(">q", self.verifier.read(pc, 8))[0]
+                pc += 8
+                self._push(value)
+            elif name in ("ADD", "SUB", "MUL"):
+                right = self._pop()
+                left = self._pop()
+                if name == "ADD":
+                    self._push(left + right)
+                elif name == "SUB":
+                    self._push(left - right)
+                else:
+                    self._push(left * right)
+            elif name == "DUP":
+                value = self._pop()
+                self._push(value)
+                self._push(value)
+            elif name == "SWAP":
+                first = self._pop()
+                second = self._pop()
+                self._push(first)
+                self._push(second)
+            elif name == "POP":
+                self._pop()
+            elif name == "LOAD":
+                address = struct.unpack(">I", self.verifier.read(pc, 4))[0]
+                pc += 4
+                self._push(self.peek_data(address))
+            elif name == "STORE":
+                address = struct.unpack(">I", self.verifier.read(pc, 4))[0]
+                pc += 4
+                self.poke_data(address, self._pop())
+            elif name == "JMP":
+                pc = struct.unpack(">I", self.verifier.read(pc, 4))[0]
+            elif name == "JNZ":
+                target = struct.unpack(">I", self.verifier.read(pc, 4))[0]
+                pc += 4
+                if self._pop() != 0:
+                    pc = target
+            else:  # HALT
+                return self._pop()

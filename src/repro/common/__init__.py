@@ -1,0 +1,64 @@
+"""Shared substrate: configuration, units, statistics, and errors."""
+
+from .config import (
+    BusConfig,
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    HashEngineConfig,
+    SchemeKind,
+    SystemConfig,
+    TLBConfig,
+    TreeConfig,
+    table1_config,
+)
+from .errors import (
+    AdversaryError,
+    ConfigurationError,
+    IntegrityError,
+    ReproError,
+    SecureModeError,
+    SimulationError,
+)
+from .stats import StatGroup, merge_groups
+from .units import (
+    GB,
+    KB,
+    MB,
+    align_down,
+    align_up,
+    bytes_per_cycle,
+    ceil_div,
+    is_power_of_two,
+    log2_exact,
+)
+
+__all__ = [
+    "BusConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "DramConfig",
+    "HashEngineConfig",
+    "SchemeKind",
+    "SystemConfig",
+    "TLBConfig",
+    "TreeConfig",
+    "table1_config",
+    "AdversaryError",
+    "ConfigurationError",
+    "IntegrityError",
+    "ReproError",
+    "SecureModeError",
+    "SimulationError",
+    "StatGroup",
+    "merge_groups",
+    "GB",
+    "KB",
+    "MB",
+    "align_down",
+    "align_up",
+    "bytes_per_cycle",
+    "ceil_div",
+    "is_power_of_two",
+    "log2_exact",
+]

@@ -1,0 +1,250 @@
+"""Configuration dataclasses mirroring Table 1 of the paper.
+
+All defaults reproduce the simulated machine of the evaluation section:
+a 1 GHz 4-wide out-of-order superscalar with 64 KB split L1 caches, a
+unified 1 MB 4-way L2, an 80-cycle DRAM, a 1.6 GB/s split-transaction
+memory bus and a pipelined 128-bit hash unit (80-cycle latency,
+3.2 GB/s throughput, 16-entry read/write buffers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ConfigurationError
+from .units import KB, MB, is_power_of_two
+
+
+class SchemeKind(enum.Enum):
+    """The five memory systems evaluated in the paper."""
+
+    BASE = "base"      #: no integrity verification
+    NAIVE = "naive"    #: tree machinery between L2 and memory, hashes uncached
+    CHASH = "chash"    #: hashes cached in L2, one cache block per chunk
+    MHASH = "mhash"    #: hashes cached, several cache blocks per chunk
+    IHASH = "ihash"    #: mhash with incremental MACs + 1-bit timestamps
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    block_bytes: int
+    latency_cycles: int
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.block_bytes):
+            raise ConfigurationError(f"{self.name}: block size must be a power of two")
+        if self.size_bytes % (self.block_bytes * self.associativity) != 0:
+            raise ConfigurationError(
+                f"{self.name}: size {self.size_bytes} is not divisible by "
+                f"associativity*block ({self.associativity}*{self.block_bytes})"
+            )
+        if self.latency_cycles < 0:
+            raise ConfigurationError(f"{self.name}: negative latency")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.block_bytes * self.associativity)
+
+    @property
+    def n_blocks(self) -> int:
+        return self.size_bytes // self.block_bytes
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Instruction/data TLB geometry (Table 1: 4-way, 128 entries)."""
+
+    entries: int = 128
+    associativity: int = 4
+    page_bytes: int = 4 * KB
+    miss_penalty_cycles: int = 30
+
+    def __post_init__(self) -> None:
+        if self.entries % self.associativity != 0:
+            raise ConfigurationError("TLB entries must divide by associativity")
+        if not is_power_of_two(self.page_bytes):
+            raise ConfigurationError("page size must be a power of two")
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Split-transaction memory bus: 200 MHz, 8 bytes wide => 1.6 GB/s."""
+
+    clock_mhz: int = 200
+    width_bytes: int = 8
+    core_clock_ghz: float = 1.0
+
+    @property
+    def bandwidth_gb_per_s(self) -> float:
+        return self.clock_mhz * 1e6 * self.width_bytes / 1e9
+
+    @property
+    def core_cycles_per_bus_cycle(self) -> float:
+        return self.core_clock_ghz * 1e3 / self.clock_mhz
+
+    def transfer_cycles(self, n_bytes: int) -> int:
+        """Core cycles the data bus is busy moving ``n_bytes``."""
+        bus_cycles = -(-n_bytes // self.width_bytes)
+        return max(1, round(bus_cycles * self.core_cycles_per_bus_cycle))
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Main-memory timing: latency to the first chunk of a block."""
+
+    first_chunk_latency_cycles: int = 80
+
+
+@dataclass(frozen=True)
+class HashEngineConfig:
+    """The on-chip hash checking/generating unit of Section 6.1.
+
+    ``throughput_gb_per_s`` = 3.2 means one 64-byte hash every 20 core
+    cycles at 1 GHz (the paper's default); 6.4 would be one per 10 cycles.
+    """
+
+    latency_cycles: int = 80
+    throughput_gb_per_s: float = 3.2
+    read_buffer_entries: int = 16
+    write_buffer_entries: int = 16
+    hash_bits: int = 128
+    core_clock_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.hash_bits % 8 != 0:
+            raise ConfigurationError("hash length must be a whole number of bytes")
+        if self.throughput_gb_per_s <= 0:
+            raise ConfigurationError("hash throughput must be positive")
+
+    @property
+    def hash_bytes(self) -> int:
+        return self.hash_bits // 8
+
+    def hash_occupancy_cycles(self, n_bytes: int) -> int:
+        """Core cycles the hash pipeline is occupied digesting ``n_bytes``."""
+        bytes_per_cycle = self.throughput_gb_per_s / self.core_clock_ghz
+        return max(1, round(n_bytes / bytes_per_cycle))
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Superscalar core parameters (Table 1)."""
+
+    clock_ghz: float = 1.0
+    fetch_width: int = 4
+    decode_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    ruu_entries: int = 128
+    lsq_entries: int = 64
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """Hash-tree shape: arity and chunk geometry (Section 5.5)."""
+
+    #: bytes covered by one hash = one chunk; equals the L2 block for chash.
+    chunk_bytes: int = 64
+    #: cache blocks per chunk (1 for chash; >=2 for mhash/ihash).
+    blocks_per_chunk: int = 1
+    hash_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.chunk_bytes):
+            raise ConfigurationError("chunk size must be a power of two")
+        if self.chunk_bytes % self.hash_bytes != 0:
+            raise ConfigurationError("chunk must hold a whole number of hashes")
+        if self.blocks_per_chunk < 1:
+            raise ConfigurationError("blocks_per_chunk must be >= 1")
+        if self.chunk_bytes % self.blocks_per_chunk != 0:
+            raise ConfigurationError("chunk must split into equal cache blocks")
+
+    @property
+    def arity(self) -> int:
+        """Hashes per chunk: the branching factor m of the tree."""
+        return self.chunk_bytes // self.hash_bytes
+
+    @property
+    def block_bytes(self) -> int:
+        return self.chunk_bytes // self.blocks_per_chunk
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build one simulated machine."""
+
+    scheme: SchemeKind = SchemeKind.BASE
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * KB, 2, 32, 1, name="l1i")
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * KB, 2, 32, 1, name="l1d")
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(1 * MB, 4, 64, 10, name="l2")
+    )
+    tlb: TLBConfig = field(default_factory=TLBConfig)
+    bus: BusConfig = field(default_factory=BusConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    hash_engine: HashEngineConfig = field(default_factory=HashEngineConfig)
+    #: protected physical memory size; sets the tree height.
+    memory_bytes: int = 256 * MB
+    #: cache blocks per hash chunk (mhash / ihash); ignored by other schemes.
+    blocks_per_chunk: int = 2
+    #: §5.3 write-allocate optimization: fully-overwritten chunks skip the
+    #: read-and-check (modelled for stores that cover a whole block).
+    write_allocate_valid_bits: bool = True
+
+    def __post_init__(self) -> None:
+        if self.l2.block_bytes % self.l1d.block_bytes != 0:
+            raise ConfigurationError("L2 block must be a multiple of the L1 block")
+        if self.memory_bytes % self.l2.block_bytes != 0:
+            raise ConfigurationError("memory size must be a multiple of the L2 block")
+
+    @property
+    def tree(self) -> TreeConfig:
+        """The tree geometry implied by scheme + L2 block size."""
+        if self.scheme in (SchemeKind.MHASH, SchemeKind.IHASH):
+            blocks = self.blocks_per_chunk
+        else:
+            blocks = 1
+        return TreeConfig(
+            chunk_bytes=self.l2.block_bytes * blocks,
+            blocks_per_chunk=blocks,
+            hash_bytes=self.hash_engine.hash_bytes,
+        )
+
+    def with_scheme(self, scheme: SchemeKind) -> "SystemConfig":
+        return replace(self, scheme=scheme)
+
+    def with_l2(
+        self,
+        size_bytes: Optional[int] = None,
+        block_bytes: Optional[int] = None,
+        associativity: Optional[int] = None,
+    ) -> "SystemConfig":
+        """Convenience for the Figure 3 sweep over L2 geometries."""
+        l2 = CacheConfig(
+            size_bytes if size_bytes is not None else self.l2.size_bytes,
+            associativity if associativity is not None else self.l2.associativity,
+            block_bytes if block_bytes is not None else self.l2.block_bytes,
+            self.l2.latency_cycles,
+            name="l2",
+        )
+        return replace(self, l2=l2)
+
+
+def table1_config(scheme: SchemeKind = SchemeKind.BASE) -> SystemConfig:
+    """The exact configuration of Table 1 of the paper."""
+    return SystemConfig(scheme=scheme)

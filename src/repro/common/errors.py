@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class IntegrityError(ReproError):
+    """Memory integrity verification failed: tampering was detected.
+
+    This models the security exception of the paper (Section 5.9).  It is
+    deliberately *not* precise: the simulated processor may have committed
+    speculative work before it fires, but cryptographic operations act as
+    barriers and never complete once a check has failed.
+    """
+
+    def __init__(self, message: str, address: int | None = None):
+        super().__init__(message)
+        self.address = address
+
+
+class SecureModeError(ReproError):
+    """An operation was attempted in the wrong secure-mode state.
+
+    For example reading protected memory before initialization finished, or
+    using ``ReadWithoutChecking`` semantics on a protected address.
+    """
+
+
+class AdversaryError(ReproError):
+    """An adversary model was asked to do something outside its power."""
+
+
+class SimulationError(ReproError):
+    """The timing simulator reached an inconsistent state (internal bug guard)."""

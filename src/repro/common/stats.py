@@ -1,0 +1,78 @@
+"""Lightweight statistics counters shared by all timing models.
+
+Every timing component (cache, bus, hash engine, core) owns a
+:class:`StatGroup`; the full-system simulator merges them into one report.
+Counters are plain attributes so hot paths pay only a ``dict`` store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class StatGroup:
+    """A named bag of numeric counters.
+
+    >>> s = StatGroup("l2")
+    >>> s.add("hits", 3)
+    >>> s.add("hits")
+    >>> s["hits"]
+    4
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._counters: Dict[str, float] = {}
+
+    def add(self, key: str, amount: float = 1) -> None:
+        """Increment ``key`` by ``amount`` (creating it at zero)."""
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set(self, key: str, value: float) -> None:
+        """Set ``key`` to an absolute value (for gauges like occupancy peaks)."""
+        self._counters[key] = value
+
+    def max(self, key: str, value: float) -> None:
+        """Record the maximum of the current value and ``value``."""
+        current = self._counters.get(key, value)
+        self._counters[key] = value if value > current else current
+
+    def get(self, key: str, default: float = 0) -> float:
+        return self._counters.get(key, default)
+
+    def __getitem__(self, key: str) -> float:
+        return self._counters.get(key, 0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Safe ratio of two counters; zero denominator yields 0.0."""
+        denom = self._counters.get(denominator, 0)
+        if denom == 0:
+            return 0.0
+        return self._counters.get(numerator, 0) / denom
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def as_dict(self, prefix: bool = True) -> Dict[str, float]:
+        """A plain-dict snapshot, optionally prefixed with the group name."""
+        if not prefix:
+            return dict(self._counters)
+        return {f"{self.name}.{key}": value for key, value in self._counters.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in self.items())
+        return f"StatGroup({self.name}: {body})"
+
+
+def merge_groups(*groups: StatGroup) -> Dict[str, float]:
+    """Merge several groups into one flat, prefixed dictionary."""
+    merged: Dict[str, float] = {}
+    for group in groups:
+        merged.update(group.as_dict())
+    return merged

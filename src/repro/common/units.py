@@ -1,0 +1,54 @@
+"""Size/time unit constants and small integer helpers used across the simulator."""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Bits in one byte; hashes and MACs are sized in bits in the paper.
+BITS_PER_BYTE = 8
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True for positive integer powers of two (1, 2, 4, ...)."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2(value) for an exact power of two, else raise ValueError."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-numerator // denominator)
+
+
+def align_down(address: int, alignment: int) -> int:
+    """Round ``address`` down to a multiple of ``alignment`` (a power of two)."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return address & ~(alignment - 1)
+
+
+def align_up(address: int, alignment: int) -> int:
+    """Round ``address`` up to a multiple of ``alignment`` (a power of two)."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return (address + alignment - 1) & ~(alignment - 1)
+
+
+def bytes_per_cycle(bandwidth_gb_per_s: float, clock_ghz: float) -> float:
+    """Convert a bandwidth in GB/s into bytes per processor clock cycle.
+
+    The paper quotes hash-unit throughput and bus bandwidth in GB/s against a
+    1 GHz core clock, so 3.2 GB/s is 3.2 bytes per cycle.
+    """
+    if clock_ghz <= 0:
+        raise ValueError("clock_ghz must be positive")
+    return bandwidth_gb_per_s / clock_ghz

@@ -1,0 +1,13 @@
+"""Processor core models: the analytic out-of-order core and an in-order baseline."""
+
+from .inorder import InOrderCore
+from .isa import OP_LATENCY, Instruction
+from .ooo import CoreResult, OutOfOrderCore
+
+__all__ = [
+    "InOrderCore",
+    "OP_LATENCY",
+    "Instruction",
+    "CoreResult",
+    "OutOfOrderCore",
+]

@@ -1,0 +1,50 @@
+"""A single-issue in-order blocking core.
+
+Kept as a second, much simpler core model: useful as a sanity baseline in
+tests (the OoO model must never be slower than it) and for quick
+experiments where overlap effects do not matter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..cache.hierarchy import MemoryHierarchy
+from ..common.stats import StatGroup
+from .isa import Instruction
+from .ooo import MISPREDICT_PENALTY, CoreResult
+
+
+class InOrderCore:
+    """One instruction at a time; loads block until data arrives."""
+
+    def __init__(self, hierarchy: MemoryHierarchy):
+        self.hierarchy = hierarchy
+        self.stats = StatGroup("inorder_core")
+
+    def run(self, instructions: Iterable[Instruction]) -> CoreResult:
+        now = 0
+        count = 0
+        latest_check = 0
+        for instruction in instructions:
+            count += 1
+            if instruction.kind == "load":
+                ready, check = self.hierarchy.load(instruction.address, now)
+                now = max(ready, now + 1)
+                latest_check = max(latest_check, check)
+            elif instruction.kind == "store":
+                done, check = self.hierarchy.store(
+                    instruction.address, now, full_block=instruction.full_block
+                )
+                now = max(done, now + 1)
+                latest_check = max(latest_check, check)
+            elif instruction.kind == "crypto":
+                now = max(now, latest_check) + instruction.latency
+            else:
+                now += instruction.latency
+            if instruction.kind == "branch" and instruction.mispredicted:
+                now += MISPREDICT_PENALTY
+        self.stats.set("cycles", now)
+        self.stats.set("instructions", count)
+        return CoreResult(instructions=count, cycles=max(now, 1),
+                          last_check_done=latest_check)

@@ -1,0 +1,60 @@
+"""Synthetic instruction stream format for the core models.
+
+SimpleScalar executed Alpha binaries; offline we drive the core with
+synthetic instruction streams whose *statistics* (operation mix, dependency
+distances, memory reference patterns, branch behaviour) are drawn from
+per-benchmark profiles (:mod:`repro.workloads`).  Each instruction is a
+compact record the core models interpret:
+
+``dep1``/``dep2`` are distances back in program order to producing
+instructions (0 means no register dependency) — geometric distances give
+high ILP, distance-1 chains give serial code like pointer chasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Execution latency per operation class (cycles in a functional unit).
+OP_LATENCY = {
+    "alu": 1,
+    "mul": 3,
+    "fp": 4,
+    "fdiv": 12,
+    "load": 0,     # memory time comes from the hierarchy
+    "store": 1,
+    "branch": 1,
+    "crypto": 8,   # signing step; also a verification barrier (Section 5.9)
+    "nop": 1,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One synthetic instruction."""
+
+    kind: str
+    #: distances (in instructions) back to the producers of the operands.
+    dep1: int = 0
+    dep2: int = 0
+    #: program data address for load/store.
+    address: int = 0
+    #: code address used for instruction fetch.
+    pc: int = 0
+    #: branch that the (implicit) predictor gets wrong.
+    mispredicted: bool = False
+    #: store belonging to a stream that overwrites whole blocks (enables the
+    #: §5.3 valid-bit write-allocate optimization).
+    full_block: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_LATENCY:
+            raise ValueError(f"unknown instruction kind {self.kind!r}")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in ("load", "store")
+
+    @property
+    def latency(self) -> int:
+        return OP_LATENCY[self.kind]

@@ -1,0 +1,172 @@
+"""Analytic out-of-order superscalar core model.
+
+Models the machine of Table 1 — 4-wide fetch/issue/commit, a 128-entry
+register update unit (RUU), a 64-entry load/store queue — as a dataflow
+schedule with resource constraints, computed in one pass over the
+instruction stream (no cycle loop, so large sweeps stay fast):
+
+* **fetch**: ``fetch_width`` per cycle, stalled by RUU/LSQ occupancy,
+  I-cache misses and branch mispredictions;
+* **issue**: when operands are ready (register dependencies resolve via
+  producer completion times); loads query the memory hierarchy at issue;
+* **commit**: in order, ``commit_width`` per cycle, after completion.
+
+Two integrity-specific behaviours from Section 5.9 are modelled exactly:
+data from memory is consumed *speculatively* as soon as it arrives (a
+load's completion is its ``data_ready``, not its ``check_done``), and
+``crypto`` instructions are verification barriers — they do not complete
+until every previously-issued check has finished.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..cache.hierarchy import MemoryHierarchy
+from ..common.config import CoreConfig
+from ..common.stats import StatGroup
+from .isa import Instruction
+
+#: extra pipeline stages between fetch and earliest issue.
+FRONTEND_DEPTH = 3
+#: fetch-redirect penalty after a mispredicted branch resolves.
+MISPREDICT_PENALTY = 3
+
+
+@dataclass
+class CoreResult:
+    """Outcome of one simulation run."""
+
+    instructions: int
+    cycles: int
+    last_check_done: int
+    #: absolute cycle the run finished at (pass as the next run's start).
+    end_cycle: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class OutOfOrderCore:
+    """The analytic OoO model used for every figure in the evaluation."""
+
+    def __init__(self, config: CoreConfig, hierarchy: MemoryHierarchy):
+        self.config = config
+        self.hierarchy = hierarchy
+        self.stats = StatGroup("core")
+
+    def run(self, instructions: Iterable[Instruction],
+            start_cycle: int = 0) -> CoreResult:
+        """Schedule ``instructions``; ``start_cycle`` continues a previous
+        run's clock so shared busy-until resources (bus, hash pipeline)
+        stay consistent across warm-up and measurement."""
+        cfg = self.config
+        fetch_width = cfg.fetch_width
+        commit_width = cfg.commit_width
+        ruu = cfg.ruu_entries
+        lsq = cfg.lsq_entries
+        hierarchy = self.hierarchy
+
+        complete: list[int] = []   # completion time per instruction
+        commit: list[int] = []     # commit time per instruction
+        mem_commit: list[int] = [] # commit times of memory instructions
+
+        fetch_cycle = start_cycle  # cycle the current fetch group issues in
+        fetched_in_cycle = 0
+        fetch_blocked_until = start_cycle  # mispredict redirects
+        last_fetch_line = -1
+        outstanding_checks = 0     # informational
+        latest_check = 0
+        count = 0
+
+        for instruction in instructions:
+            index = count
+            count += 1
+
+            # ---- fetch ------------------------------------------------------
+            if fetched_in_cycle >= fetch_width:
+                fetch_cycle += 1
+                fetched_in_cycle = 0
+            fetch_time = max(fetch_cycle, fetch_blocked_until)
+
+            # RUU occupancy: wait for instruction index-ruu to commit
+            if index >= ruu:
+                fetch_time = max(fetch_time, commit[index - ruu])
+            # LSQ occupancy for memory operations
+            if instruction.is_memory and len(mem_commit) >= lsq:
+                fetch_time = max(fetch_time, mem_commit[len(mem_commit) - lsq])
+
+            # I-cache: one lookup per new fetch line
+            line = instruction.pc >> 5
+            if line != last_fetch_line:
+                ready, _ = hierarchy.ifetch(instruction.pc, fetch_time)
+                if ready > fetch_time + hierarchy.config.l1i.latency_cycles:
+                    self.stats.add("icache_stall_cycles",
+                                   ready - fetch_time)
+                    fetch_time = ready
+                last_fetch_line = line
+            if fetch_time > fetch_cycle:
+                fetch_cycle = fetch_time
+                fetched_in_cycle = 0
+            fetched_in_cycle += 1
+
+            # ---- issue / execute ---------------------------------------------
+            ready = fetch_time + FRONTEND_DEPTH
+            if instruction.dep1 and index - instruction.dep1 >= 0:
+                ready = max(ready, complete[index - instruction.dep1])
+            if instruction.dep2 and index - instruction.dep2 >= 0:
+                ready = max(ready, complete[index - instruction.dep2])
+
+            if instruction.kind == "load":
+                data_ready, check_done = hierarchy.load(instruction.address,
+                                                        ready)
+                done = max(data_ready, ready + 1)
+                latest_check = max(latest_check, check_done)
+                self.stats.add("loads")
+            elif instruction.kind == "store":
+                store_done, check_done = hierarchy.store(
+                    instruction.address, ready,
+                    full_block=instruction.full_block,
+                )
+                # stores complete quickly; the LSQ entry is held until the
+                # write has actually landed (store_done)
+                done = ready + 1
+                latest_check = max(latest_check, check_done)
+                self.stats.add("stores")
+                ready_for_lsq = max(store_done, done)
+            elif instruction.kind == "crypto":
+                # verification barrier: every outstanding check must finish
+                done = max(ready, latest_check) + instruction.latency
+                self.stats.add("crypto_barriers")
+            else:
+                done = ready + instruction.latency
+
+            complete.append(done)
+
+            # ---- commit --------------------------------------------------------
+            commit_time = done
+            if index > 0:
+                commit_time = max(commit_time, commit[index - 1])
+            if index >= commit_width:
+                commit_time = max(commit_time, commit[index - commit_width] + 1)
+            commit.append(commit_time)
+            if instruction.is_memory:
+                if instruction.kind == "store":
+                    mem_commit.append(max(commit_time, ready_for_lsq))
+                else:
+                    mem_commit.append(commit_time)
+
+            # ---- branch misprediction -------------------------------------------
+            if instruction.kind == "branch" and instruction.mispredicted:
+                fetch_blocked_until = max(fetch_blocked_until,
+                                          done + MISPREDICT_PENALTY)
+                self.stats.add("mispredictions")
+
+        end_cycle = commit[-1] + 1 if commit else start_cycle
+        cycles = end_cycle - start_cycle
+        self.stats.set("cycles", cycles)
+        self.stats.set("instructions", count)
+        return CoreResult(instructions=count, cycles=cycles,
+                          last_check_done=latest_check, end_cycle=end_cycle)

@@ -1,0 +1,16 @@
+"""Cryptographic substrate: hashes, the incremental XOR-MAC, and signing keys."""
+
+from .hashes import AVAILABLE_ALGORITHMS, HashFunction, default_hash
+from .keys import Manufacturer, ProcessorSecret, Signature
+from .mac import FeistelPermutation, XorMac
+
+__all__ = [
+    "AVAILABLE_ALGORITHMS",
+    "HashFunction",
+    "default_hash",
+    "Manufacturer",
+    "ProcessorSecret",
+    "Signature",
+    "FeistelPermutation",
+    "XorMac",
+]

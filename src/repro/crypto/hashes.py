@@ -1,0 +1,102 @@
+"""Collision-resistant hash functions used by the tree (Section 6.1).
+
+The paper's hardware unit implements MD5 or SHA-1 and the tree stores a
+fixed-length (128-bit) digest per child.  Here the functional layer wraps
+:mod:`hashlib`; all functions truncate to the configured digest length so
+the tree layout is independent of which primitive is chosen.  ``blake2``
+is offered as a faster keyed option for large simulations — the timing
+model never depends on which functional hash is in use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict
+
+
+class HashFunction:
+    """A fixed-output-length collision-resistant hash.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`AVAILABLE_ALGORITHMS` (``md5``, ``sha1``, ``sha256``,
+        ``blake2b``).
+    digest_bytes:
+        Output length; the underlying digest is truncated to this length,
+        matching the paper's 128-bit hash entries.
+    """
+
+    def __init__(self, name: str = "md5", digest_bytes: int = 16):
+        if name not in AVAILABLE_ALGORITHMS:
+            raise ValueError(
+                f"unknown hash algorithm {name!r}; "
+                f"choose from {sorted(AVAILABLE_ALGORITHMS)}"
+            )
+        native = AVAILABLE_ALGORITHMS[name]().digest_size
+        if not 1 <= digest_bytes <= native:
+            raise ValueError(
+                f"digest_bytes must be in [1, {native}] for {name}, got {digest_bytes}"
+            )
+        self.name = name
+        self.digest_bytes = digest_bytes
+        self._factory = AVAILABLE_ALGORITHMS[name]
+
+    def digest(self, data: bytes) -> bytes:
+        """Hash ``data`` and truncate to ``digest_bytes``."""
+        return self._factory(data).digest()[: self.digest_bytes]
+
+    def digest_many(self, *parts: bytes) -> bytes:
+        """Hash the concatenation of several byte strings."""
+        state = self._factory()
+        for part in parts:
+            state.update(part)
+        return state.digest()[: self.digest_bytes]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashFunction({self.name}, {self.digest_bytes * 8} bits)"
+
+
+def _blake2b(data: bytes = b"") -> "hashlib._Hash":
+    return hashlib.blake2b(data, digest_size=16)
+
+
+class _PureHashState:
+    """hashlib-compatible wrapper over the from-scratch digest functions."""
+
+    def __init__(self, function, digest_size: int, data: bytes = b""):
+        self._function = function
+        self.digest_size = digest_size
+        self._buffer = bytearray(data)
+
+    def update(self, data: bytes) -> None:
+        self._buffer += data
+
+    def digest(self) -> bytes:
+        return self._function(bytes(self._buffer))
+
+
+def _md5_pure(data: bytes = b"") -> _PureHashState:
+    from .md5 import md5 as md5_function
+    return _PureHashState(md5_function, 16, data)
+
+
+def _sha1_pure(data: bytes = b"") -> _PureHashState:
+    from .sha1 import sha1 as sha1_function
+    return _PureHashState(sha1_function, 20, data)
+
+
+AVAILABLE_ALGORITHMS: Dict[str, Callable[..., "hashlib._Hash"]] = {
+    "md5": hashlib.md5,
+    "sha1": hashlib.sha1,
+    "sha256": hashlib.sha256,
+    "blake2b": _blake2b,
+    # the paper's hash units, implemented from scratch (repro.crypto.md5/sha1)
+    "md5-pure": _md5_pure,
+    "sha1-pure": _sha1_pure,
+}
+
+
+def default_hash() -> HashFunction:
+    """The paper's default: a 128-bit MD5 digest."""
+    return HashFunction("md5", 16)

@@ -1,0 +1,91 @@
+"""Processor secrets, program-key derivation and result signing (Section 4.1).
+
+The certified-execution protocol needs three primitives:
+
+* a per-processor secret, installed at manufacture;
+* a collision-resistant combination of the secret with the program text,
+  yielding a key unique to the (processor, program) pair;
+* signing of results with that key, verifiable by the remote user.
+
+The paper assumes a public-key signature (so mutually mistrusting users can
+share one processor).  Offline we substitute an HMAC whose verification
+oracle is held by a :class:`Manufacturer` object standing in for the PKI:
+it owns the processor secret, re-derives the program key, and checks tags.
+The protocol structure — derive, run, barrier, sign — is unchanged; see
+DESIGN.md for the substitution note.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+
+
+def _hkdf(key: bytes, label: bytes, context: bytes = b"") -> bytes:
+    """A single-step HKDF-like derivation: keyed BLAKE2b over label||context."""
+    return hashlib.blake2b(label + context, key=key[:64], digest_size=32).digest()
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signed (message, tag) pair emitted by a secure processor."""
+
+    message: bytes
+    tag: bytes
+    program_digest: bytes
+
+
+class ProcessorSecret:
+    """The unique secret burned into one processor.
+
+    ``material`` may come from a PUF or fuses; here it is random bytes (or a
+    caller-supplied value for deterministic tests).
+    """
+
+    def __init__(self, material: bytes | None = None):
+        self._material = material if material is not None else os.urandom(32)
+
+    def derive_program_key(self, program_text: bytes) -> bytes:
+        """Collision-resistantly combine the secret with the program.
+
+        Any change to the program text yields an unrelated key, so a tag
+        made under this key certifies both the processor *and* the exact
+        program that produced it.
+        """
+        program_digest = hashlib.sha256(program_text).digest()
+        return _hkdf(self._material, b"program-key", program_digest)
+
+    def sign(self, program_text: bytes, message: bytes) -> Signature:
+        """Sign ``message`` under the (processor, program) key."""
+        key = self.derive_program_key(program_text)
+        tag = hmac.new(key, message, hashlib.sha256).digest()
+        return Signature(
+            message=message,
+            tag=tag,
+            program_digest=hashlib.sha256(program_text).digest(),
+        )
+
+
+class Manufacturer:
+    """Stand-in for the PKI: can mint processors and verify their signatures."""
+
+    def __init__(self) -> None:
+        self._secrets: list[ProcessorSecret] = []
+
+    def mint_processor(self, material: bytes | None = None) -> ProcessorSecret:
+        secret = ProcessorSecret(material)
+        self._secrets.append(secret)
+        return secret
+
+    def verify(self, program_text: bytes, signature: Signature) -> bool:
+        """Check that some minted processor produced ``signature`` for this program."""
+        if hashlib.sha256(program_text).digest() != signature.program_digest:
+            return False
+        for secret in self._secrets:
+            key = secret.derive_program_key(program_text)
+            expected = hmac.new(key, signature.message, hashlib.sha256).digest()
+            if hmac.compare_digest(expected, signature.tag):
+                return True
+        return False

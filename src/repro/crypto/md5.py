@@ -1,0 +1,83 @@
+"""MD5 implemented from scratch (RFC 1321) — the paper's hash unit.
+
+The paper's checking unit computes MD5 (or SHA-1) over one chunk per
+operation; Section 6.1 sizes the hardware by counting the 32-bit
+operations in the 64 rounds.  This module is a faithful software model of
+that datapath: the same four round functions, per-round constants,
+rotations and additions a hardware implementation schedules — with one
+simplification the paper itself makes (footnote 8): messages are fixed
+length (one chunk < 512 bits), so chaining across 512-bit blocks for long
+messages follows the standard padding rule but the unit is sized for the
+single-block case.
+
+Verified bit-for-bit against :mod:`hashlib` in the test suite; the
+functional trees accept it via ``HashFunction("md5-pure")``.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+#: per-round left-rotation amounts.
+_SHIFTS = (
+    [7, 12, 17, 22] * 4
+    + [5, 9, 14, 20] * 4
+    + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4
+)
+
+#: sine-derived additive constants: floor(2^32 * |sin(i + 1)|).
+_SINES = [int(abs(math.sin(i + 1)) * 2**32) & 0xFFFFFFFF for i in range(64)]
+
+_INITIAL_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+def _compress(state: tuple, block: bytes) -> tuple:
+    """One application of the MD5 compression function (64 rounds)."""
+    words = struct.unpack("<16I", block)
+    a, b, c, d = state
+    for i in range(64):
+        if i < 16:
+            mix = (b & c) | (~b & d)
+            word_index = i
+        elif i < 32:
+            mix = (d & b) | (~d & c)
+            word_index = (5 * i + 1) % 16
+        elif i < 48:
+            mix = b ^ c ^ d
+            word_index = (3 * i + 5) % 16
+        else:
+            mix = c ^ (b | ~d)
+            word_index = (7 * i) % 16
+        total = (a + mix + _SINES[i] + words[word_index]) & _MASK
+        a, d, c, b = d, c, b, (b + _rotl(total, _SHIFTS[i])) & _MASK
+    return (
+        (state[0] + a) & _MASK,
+        (state[1] + b) & _MASK,
+        (state[2] + c) & _MASK,
+        (state[3] + d) & _MASK,
+    )
+
+
+def _pad(message: bytes) -> bytes:
+    """Merkle-Damgard strengthening: 0x80, zeros, 64-bit little-endian length."""
+    length_bits = (len(message) * 8) & 0xFFFFFFFFFFFFFFFF
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    return padded + struct.pack("<Q", length_bits)
+
+
+def md5(message: bytes) -> bytes:
+    """The 16-byte MD5 digest of ``message``."""
+    state = _INITIAL_STATE
+    padded = _pad(message)
+    for offset in range(0, len(padded), 64):
+        state = _compress(state, padded[offset: offset + 64])
+    return struct.pack("<4I", *state)

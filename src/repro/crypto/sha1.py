@@ -1,0 +1,66 @@
+"""SHA-1 implemented from scratch (RFC 3174) — the paper's alternative unit.
+
+Section 6.1 sizes a SHA-1 datapath next to the MD5 one (more adders, a
+larger message schedule, a 160-bit digest).  This is the software model of
+that datapath; the tree truncates its output to the configured 128-bit
+entry size exactly as it truncates MD5's.
+
+Verified bit-for-bit against :mod:`hashlib` in the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_INITIAL_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+def _compress(state: tuple, block: bytes) -> tuple:
+    """One application of the SHA-1 compression function (80 rounds)."""
+    schedule = list(struct.unpack(">16I", block))
+    for i in range(16, 80):
+        schedule.append(_rotl(
+            schedule[i - 3] ^ schedule[i - 8] ^ schedule[i - 14]
+            ^ schedule[i - 16], 1,
+        ))
+    a, b, c, d, e = state
+    for i in range(80):
+        if i < 20:
+            mix, constant = (b & c) | (~b & d), 0x5A827999
+        elif i < 40:
+            mix, constant = b ^ c ^ d, 0x6ED9EBA1
+        elif i < 60:
+            mix, constant = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
+        else:
+            mix, constant = b ^ c ^ d, 0xCA62C1D6
+        total = (_rotl(a, 5) + mix + e + constant + schedule[i]) & _MASK
+        a, b, c, d, e = total, a, _rotl(b, 30), c, d
+    return (
+        (state[0] + a) & _MASK,
+        (state[1] + b) & _MASK,
+        (state[2] + c) & _MASK,
+        (state[3] + d) & _MASK,
+        (state[4] + e) & _MASK,
+    )
+
+
+def _pad(message: bytes) -> bytes:
+    """0x80, zeros, then the 64-bit big-endian bit length."""
+    length_bits = (len(message) * 8) & 0xFFFFFFFFFFFFFFFF
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    return padded + struct.pack(">Q", length_bits)
+
+
+def sha1(message: bytes) -> bytes:
+    """The 20-byte SHA-1 digest of ``message``."""
+    state = _INITIAL_STATE
+    padded = _pad(message)
+    for offset in range(0, len(padded), 64):
+        state = _compress(state, padded[offset: offset + 64])
+    return struct.pack(">5I", *state)

@@ -1,0 +1,5 @@
+"""Off-chip memory timing: shared data bus plus DRAM latency."""
+
+from .bus import MainMemoryTiming
+
+__all__ = ["MainMemoryTiming"]

@@ -1,0 +1,90 @@
+"""Split-transaction memory bus and DRAM timing (Table 1, Section 6.3).
+
+All structures that access main memory — the L2 fill path, write-backs and
+the hash-tree machinery — share one data bus (the paper models separate
+address and data buses; the address phase is short and pipelined, so
+contention is dominated by the data bus, which is what this model
+arbitrates).  The model is *busy-until*: a transfer is granted at
+``max(request_time, bus_free_at)`` and holds the bus for the transfer's
+beat count; DRAM array latency overlaps other transfers.
+
+Per-kind byte counters feed the bandwidth figures (Figure 5b).
+"""
+
+from __future__ import annotations
+
+from ..common.config import BusConfig, DramConfig
+from ..common.stats import StatGroup
+
+
+class MainMemoryTiming:
+    """Timing front-end for off-chip memory: one bus + DRAM latency."""
+
+    def __init__(self, bus: BusConfig, dram: DramConfig):
+        self.bus = bus
+        self.dram = dram
+        self.stats = StatGroup("memory")
+        self._data_bus_free_at = 0
+        #: cleared during functional cache warm-up: transfers become free
+        #: and instantaneous so only cache state evolves.
+        self.timing_enabled = True
+
+    def _grant(self, ready: int, n_bytes: int) -> int:
+        """Arbitrate the data bus for ``n_bytes`` once they are ready."""
+        start = max(ready, self._data_bus_free_at)
+        cycles = self.bus.transfer_cycles(n_bytes)
+        self._data_bus_free_at = start + cycles
+        self.stats.add("bus_busy_cycles", cycles)
+        return start + cycles
+
+    def read(self, now: int, n_bytes: int, kind: str = "data") -> int:
+        """Issue a read at ``now``; returns the cycle the last byte arrives.
+
+        ``kind`` labels the traffic for accounting: ``data`` (program
+        blocks), ``hash`` (tree chunks) or ``old`` (ihash's unchecked
+        old-value reads).
+        """
+        return self.read_critical(now, n_bytes, kind)[1]
+
+    def read_critical(self, now: int, n_bytes: int,
+                      kind: str = "data") -> tuple[int, int]:
+        """Issue a read; returns ``(critical_word_ready, full_block_ready)``.
+
+        The paper's memory latency is "to the first chunk": the requested
+        word is forwarded as soon as the first bus beat lands (critical
+        word first), while consumers of the *whole* block — the hash unit
+        above all — wait for the last beat.
+        """
+        if not self.timing_enabled:
+            return now, now
+        self.stats.add("reads")
+        self.stats.add(f"read_bytes_{kind}", n_bytes)
+        self.stats.add("bytes_total", n_bytes)
+        ready = now + self.dram.first_chunk_latency_cycles
+        full = self._grant(ready, n_bytes)
+        first_beat = self.bus.transfer_cycles(self.bus.width_bytes)
+        critical = full - self.bus.transfer_cycles(n_bytes) + first_beat
+        return critical, full
+
+    def write(self, now: int, n_bytes: int, kind: str = "data") -> int:
+        """Issue a write at ``now``; returns when the bus transfer finishes.
+
+        Writes are posted (the processor does not wait for them), but they
+        occupy bus bandwidth like everything else.
+        """
+        if not self.timing_enabled:
+            return now
+        self.stats.add("writes")
+        self.stats.add(f"write_bytes_{kind}", n_bytes)
+        self.stats.add("bytes_total", n_bytes)
+        return self._grant(now, n_bytes)
+
+    @property
+    def bus_free_at(self) -> int:
+        return self._data_bus_free_at
+
+    def bandwidth_utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of cycles the data bus was busy."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.stats["bus_busy_cycles"] / elapsed_cycles)

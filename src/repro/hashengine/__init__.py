@@ -1,0 +1,5 @@
+"""Timing model of the on-chip hash checking/generating unit."""
+
+from .engine import HashEngineTiming
+
+__all__ = ["HashEngineTiming"]

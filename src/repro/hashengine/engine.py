@@ -1,0 +1,116 @@
+"""Hash checking/generating unit timing model (Section 6.1, Figures 6–7).
+
+The unit sits next to the L2: a pipelined hash core with a configurable
+latency (80 cycles) and throughput (one 64-byte hash per 20 cycles at the
+default 3.2 GB/s), fed by a *read buffer* (new L2 blocks waiting to be
+checked) and a *write buffer* (evicted blocks waiting for their new hash).
+
+Buffer entries are the paper's flow-control: data can be consumed
+speculatively while its check runs in the background, but when every
+buffer entry is occupied the memory transaction that needs one stalls —
+that is the only way verification latency ever reaches the critical path
+(Section 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common.config import HashEngineConfig
+from ..common.stats import StatGroup
+
+
+class _BufferPool:
+    """Fixed number of slots, each busy until a stored completion time."""
+
+    def __init__(self, entries: int):
+        self._free_at: List[int] = [0] * entries
+
+    def acquire(self, now: int) -> tuple[int, int]:
+        """Return ``(slot, start)``: the earliest usable slot, possibly
+        making the caller wait until one frees.
+
+        The slot is provisionally reserved (so concurrent acquires pick
+        other slots); :meth:`hold` installs the real release time.
+        """
+        slot = min(range(len(self._free_at)), key=self._free_at.__getitem__)
+        start = max(now, self._free_at[slot])
+        self._free_at[slot] = start + 1
+        return slot, start
+
+    def hold(self, slot: int, until: int) -> None:
+        if until > self._free_at[slot]:
+            self._free_at[slot] = until
+
+    def earliest_free(self) -> int:
+        return min(self._free_at)
+
+
+class HashEngineTiming:
+    """Pipelined hash unit with read/write buffers."""
+
+    def __init__(self, config: HashEngineConfig):
+        self.config = config
+        self.stats = StatGroup("hash_engine")
+        self._pipe_free_at = 0
+        self._read_buffers = _BufferPool(config.read_buffer_entries)
+        self._write_buffers = _BufferPool(config.write_buffer_entries)
+        #: cleared during functional cache warm-up: hashing is free.
+        self.timing_enabled = True
+
+    # -- raw pipeline ------------------------------------------------------------
+
+    def hash_op(self, ready: int, n_bytes: int) -> int:
+        """Digest ``n_bytes`` that are available at ``ready``.
+
+        Returns the completion time: pipeline issue (throughput-limited)
+        plus the fixed pipeline latency.
+        """
+        if not self.timing_enabled:
+            return ready
+        start = max(ready, self._pipe_free_at)
+        occupancy = self.config.hash_occupancy_cycles(n_bytes)
+        self._pipe_free_at = start + occupancy
+        self.stats.add("hash_ops")
+        self.stats.add("hashed_bytes", n_bytes)
+        self.stats.add("pipe_busy_cycles", occupancy)
+        return start + self.config.latency_cycles + occupancy
+
+    # -- buffered operations -------------------------------------------------------
+
+    def begin_check(self, now: int) -> tuple[int, int]:
+        """Claim a read-buffer slot for an incoming block check.
+
+        Returns ``(slot, start)``; ``start >= now`` is when the memory
+        transaction may proceed (it stalls while the buffer is full).
+        """
+        if not self.timing_enabled:
+            return 0, now
+        slot, start = self._read_buffers.acquire(now)
+        if start > now:
+            self.stats.add("read_buffer_stall_cycles", start - now)
+            self.stats.add("read_buffer_stalls")
+        return slot, start
+
+    def finish_check(self, slot: int, done: int) -> None:
+        """Release the read-buffer slot once the check completed at ``done``."""
+        if not self.timing_enabled:
+            return
+        self._read_buffers.hold(slot, done)
+        self.stats.add("checks_completed")
+
+    def begin_writeback(self, now: int) -> tuple[int, int]:
+        """Claim a write-buffer slot for an evicted block awaiting its hash."""
+        if not self.timing_enabled:
+            return 0, now
+        slot, start = self._write_buffers.acquire(now)
+        if start > now:
+            self.stats.add("write_buffer_stall_cycles", start - now)
+            self.stats.add("write_buffer_stalls")
+        return slot, start
+
+    def finish_writeback(self, slot: int, done: int) -> None:
+        if not self.timing_enabled:
+            return
+        self._write_buffers.hold(slot, done)
+        self.stats.add("writebacks_completed")

@@ -1,0 +1,30 @@
+"""Hash trees for memory integrity verification — the paper's contribution.
+
+Functional layer: these classes move real bytes, compute real hashes and
+raise :class:`~repro.common.errors.IntegrityError` on real tampering.  The
+performance models live in :mod:`repro.schemes`.
+"""
+
+from .cached import CachedHashTree, ChunkCache
+from .incremental import IncrementalMacTree
+from .layout import SECURE_PARENT, HashLocation, TreeLayout
+from .multiblock import BlockCache, MultiBlockHashTree
+from .tree import HashTree
+from .verifier import MemoryVerifier, VerifierState
+from .virtual import MultiProgramVerifier, VerifiedContext
+
+__all__ = [
+    "CachedHashTree",
+    "ChunkCache",
+    "IncrementalMacTree",
+    "SECURE_PARENT",
+    "HashLocation",
+    "TreeLayout",
+    "BlockCache",
+    "MultiBlockHashTree",
+    "HashTree",
+    "MemoryVerifier",
+    "VerifierState",
+    "MultiProgramVerifier",
+    "VerifiedContext",
+]

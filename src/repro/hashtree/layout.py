@@ -1,0 +1,200 @@
+"""Flat m-ary hash-tree layout in RAM (Section 5.5).
+
+Memory is divided into equal-sized *chunks*.  A chunk either holds data or
+holds ``m`` hashes (``m = chunk_bytes / hash_bytes``, the tree's arity).
+Chunks are numbered from zero; chunk ``i`` starts at physical address
+``i * chunk_bytes``.  The parent of chunk ``i`` is ``floor(i / m) - 1`` and
+``i mod m`` is the index of ``i``'s hash inside that parent; a negative
+parent means the hash lives in secure on-chip storage.  Low-numbered
+chunks are therefore internal (hash) chunks and all the leaves are
+contiguous at the top of the chunk range — exactly the paper's layout,
+easy parent arithmetic when ``m`` is a power of two included.
+
+The *protected address space* seen by a program is the concatenation of the
+leaf chunks; :meth:`TreeLayout.leaf_for_address` translates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..common.errors import ConfigurationError
+from ..common.units import ceil_div, is_power_of_two
+
+#: Sentinel parent index for chunks whose hash is in secure memory.
+SECURE_PARENT = -1
+
+
+@dataclass(frozen=True)
+class HashLocation:
+    """Where one chunk's hash (or MAC) is stored."""
+
+    in_secure_memory: bool
+    #: chunk holding the hash, or SECURE_PARENT.
+    parent_chunk: int
+    #: index of the hash within its container (parent chunk or secure store).
+    index: int
+    #: physical byte address of the hash entry; meaningless in secure memory.
+    address: int
+
+
+class TreeLayout:
+    """Geometry of one hash tree over a contiguous protected segment.
+
+    Parameters
+    ----------
+    data_bytes:
+        Bytes of program-visible protected memory (the leaves).
+    chunk_bytes:
+        Size of every chunk; also the hash-computation unit.
+    hash_bytes:
+        Size of one hash entry; ``chunk_bytes // hash_bytes`` is the arity.
+    """
+
+    def __init__(self, data_bytes: int, chunk_bytes: int = 64, hash_bytes: int = 16):
+        if not is_power_of_two(chunk_bytes):
+            raise ConfigurationError("chunk_bytes must be a power of two")
+        if chunk_bytes % hash_bytes != 0:
+            raise ConfigurationError("chunk_bytes must be a multiple of hash_bytes")
+        if chunk_bytes // hash_bytes < 2:
+            raise ConfigurationError("tree arity must be at least 2")
+        if data_bytes <= 0 or data_bytes % chunk_bytes != 0:
+            raise ConfigurationError("data_bytes must be a positive chunk multiple")
+
+        self.data_bytes = data_bytes
+        self.chunk_bytes = chunk_bytes
+        self.hash_bytes = hash_bytes
+        self.arity = chunk_bytes // hash_bytes
+
+        self.n_leaves = data_bytes // chunk_bytes
+        self.total_chunks = self._solve_total_chunks(self.n_leaves, self.arity)
+        self.n_internal = self.total_chunks - self.n_leaves
+        self.first_leaf = self.n_internal
+
+    @staticmethod
+    def _solve_total_chunks(n_leaves: int, arity: int) -> int:
+        """Smallest chunk count whose layout yields at least ``n_leaves`` leaves.
+
+        leaves(total) = total - max(0, ceil(total/arity) - 1) is
+        non-decreasing in total, so start from the analytic estimate
+        total ~= (n_leaves - 1) * m / (m - 1) and walk to the boundary.
+        """
+
+        def leaves(total: int) -> int:
+            return total - max(0, ceil_div(total, arity) - 1)
+
+        total = max(n_leaves, (n_leaves - 1) * arity // (arity - 1))
+        while leaves(total) < n_leaves:
+            total += 1
+        while total > 1 and leaves(total - 1) >= n_leaves:
+            total -= 1
+        return total
+
+    # -- chunk arithmetic ----------------------------------------------------
+
+    def parent_of(self, chunk: int) -> int:
+        """Parent chunk index, or :data:`SECURE_PARENT`."""
+        self._check_chunk(chunk)
+        parent = chunk // self.arity - 1
+        return parent if parent >= 0 else SECURE_PARENT
+
+    def index_in_parent(self, chunk: int) -> int:
+        """Position of ``chunk``'s hash inside its parent (or secure store)."""
+        self._check_chunk(chunk)
+        return chunk % self.arity
+
+    def children_of(self, chunk: int) -> range:
+        """Chunk indices whose hashes chunk ``chunk`` stores (may be empty)."""
+        self._check_chunk(chunk)
+        first = self.arity * (chunk + 1)
+        last = min(self.arity * (chunk + 2), self.total_chunks)
+        return range(first, max(first, last))
+
+    def is_leaf(self, chunk: int) -> bool:
+        self._check_chunk(chunk)
+        return chunk >= self.first_leaf
+
+    def chunk_address(self, chunk: int) -> int:
+        """Physical start address of ``chunk``."""
+        self._check_chunk(chunk)
+        return chunk * self.chunk_bytes
+
+    def chunk_at_address(self, address: int) -> int:
+        """Chunk index containing physical ``address``."""
+        chunk = address // self.chunk_bytes
+        self._check_chunk(chunk)
+        return chunk
+
+    def hash_location(self, chunk: int) -> HashLocation:
+        """Where the hash of ``chunk`` is stored."""
+        parent = self.parent_of(chunk)
+        index = self.index_in_parent(chunk)
+        if parent == SECURE_PARENT:
+            return HashLocation(True, SECURE_PARENT, index, -1)
+        address = self.chunk_address(parent) + index * self.hash_bytes
+        return HashLocation(False, parent, index, address)
+
+    def path_to_root(self, chunk: int) -> Iterator[int]:
+        """Chunks visited walking from ``chunk`` (inclusive) up to secure memory."""
+        current = chunk
+        while current != SECURE_PARENT:
+            yield current
+            current = self.parent_of(current)
+
+    def depth(self, chunk: int) -> int:
+        """Number of *hash* chunks between ``chunk`` and secure memory.
+
+        A leaf with depth ``d`` costs ``d`` extra chunk reads per naive
+        verification (the paper's ``log_m N`` term).
+        """
+        return sum(1 for _ in self.path_to_root(chunk)) - 1
+
+    def max_depth(self) -> int:
+        """Worst-case verification path length over all leaves."""
+        if self.n_leaves == 0:
+            return 0
+        return self.depth(self.total_chunks - 1 if self.n_internal else self.first_leaf)
+
+    # -- protected address space ---------------------------------------------
+
+    def leaf_for_address(self, address: int) -> Tuple[int, int]:
+        """Map a protected (program) address to ``(leaf_chunk, offset_in_chunk)``."""
+        if not 0 <= address < self.data_bytes:
+            raise IndexError(
+                f"protected address {address:#x} outside [0, {self.data_bytes:#x})"
+            )
+        return self.first_leaf + address // self.chunk_bytes, address % self.chunk_bytes
+
+    def address_for_leaf(self, chunk: int) -> int:
+        """Protected (program) address of the first byte of a leaf chunk."""
+        if not self.is_leaf(chunk):
+            raise ValueError(f"chunk {chunk} is not a leaf")
+        return (chunk - self.first_leaf) * self.chunk_bytes
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def physical_bytes(self) -> int:
+        """RAM consumed by data plus hash chunks."""
+        return self.total_chunks * self.chunk_bytes
+
+    @property
+    def memory_overhead(self) -> float:
+        """Fraction of extra RAM spent on hashes; tends to 1/(m-1)."""
+        return self.n_internal / self.n_leaves if self.n_leaves else 0.0
+
+    @property
+    def secure_hash_slots(self) -> int:
+        """On-chip hash registers needed: one per top-level chunk."""
+        return min(self.arity, self.total_chunks)
+
+    def _check_chunk(self, chunk: int) -> None:
+        if not 0 <= chunk < self.total_chunks:
+            raise IndexError(f"chunk {chunk} outside [0, {self.total_chunks})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TreeLayout(arity={self.arity}, leaves={self.n_leaves}, "
+            f"internal={self.n_internal}, depth={self.max_depth()})"
+        )

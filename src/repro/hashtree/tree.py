@@ -1,0 +1,212 @@
+"""Functional uncached Merkle tree (Sections 5.1–5.2; the *naive* checker).
+
+Every read of a chunk verifies the full path to the root of the tree; every
+write recomputes every hash on that path.  Nothing is cached, so this is
+both the reference implementation for correctness (all cached variants must
+agree with it) and the functional counterpart of the paper's ``naive``
+timing scheme.
+
+The hashes of the top-level chunks live in :attr:`HashTree.secure_store`,
+the model of tamper-proof on-chip registers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.errors import IntegrityError
+from ..common.stats import StatGroup
+from ..crypto.hashes import HashFunction, default_hash
+from ..memory.main_memory import UntrustedMemory
+from .layout import SECURE_PARENT, TreeLayout
+
+
+class HashTree:
+    """An m-ary Merkle tree over an :class:`UntrustedMemory`.
+
+    Parameters
+    ----------
+    memory:
+        The untrusted RAM; must be at least ``layout.physical_bytes`` long.
+    layout:
+        Chunk geometry (see :class:`~repro.hashtree.layout.TreeLayout`).
+    hash_fn:
+        Collision-resistant hash; defaults to 128-bit MD5 as in the paper.
+    """
+
+    def __init__(
+        self,
+        memory: UntrustedMemory,
+        layout: TreeLayout,
+        hash_fn: Optional[HashFunction] = None,
+    ):
+        if memory.size_bytes < layout.physical_bytes:
+            raise ValueError(
+                f"memory of {memory.size_bytes} bytes cannot hold a tree "
+                f"needing {layout.physical_bytes} bytes"
+            )
+        self.memory = memory
+        self.layout = layout
+        self.hash_fn = hash_fn if hash_fn is not None else default_hash()
+        if self.hash_fn.digest_bytes != layout.hash_bytes:
+            raise ValueError("hash function output must match layout.hash_bytes")
+        #: on-chip registers holding the hashes of the top-level chunks.
+        self.secure_store: List[bytes] = [
+            bytes(layout.hash_bytes) for _ in range(layout.secure_hash_slots)
+        ]
+        self.stats = StatGroup("hashtree")
+
+    # -- construction -----------------------------------------------------------
+
+    def build(self) -> None:
+        """Compute every hash bottom-up and install the secure roots.
+
+        Equivalent in outcome to the initialization procedure of Section
+        5.8 (write-touch everything, then flush); tests assert the
+        equivalence against :class:`~repro.hashtree.cached.CachedHashTree`.
+        """
+        for chunk in range(self.layout.total_chunks - 1, SECURE_PARENT, -1):
+            digest = self._hash_chunk_in_memory(chunk)
+            self._store_hash(chunk, digest)
+
+    # -- verified access ----------------------------------------------------------
+
+    def read_chunk(self, chunk: int) -> bytes:
+        """Read chunk ``chunk`` and verify the whole path to the root.
+
+        One pass up the tree suffices: each level's content is hashed and
+        compared against the copy of that hash held one level up, ending at
+        the secure registers.
+        """
+        data = self._fetch(chunk)
+        digest = self.hash_fn.digest(data)
+        self.stats.add("hash_computations")
+        current = chunk
+        while True:
+            location = self.layout.hash_location(current)
+            if location.in_secure_memory:
+                expected = self.secure_store[location.index]
+                self._compare(digest, expected, current)
+                return data
+            parent_data = self._fetch(location.parent_chunk)
+            start = location.index * self.layout.hash_bytes
+            expected = parent_data[start : start + self.layout.hash_bytes]
+            self._compare(digest, expected, current)
+            digest = self.hash_fn.digest(parent_data)
+            self.stats.add("hash_computations")
+            current = location.parent_chunk
+
+    def write_chunk(self, chunk: int, data: bytes) -> None:
+        """Overwrite chunk ``chunk`` and update every hash up to the root.
+
+        Each chunk on the path is *verified before it is modified* so an
+        earlier corruption cannot be laundered into the new path.
+        """
+        if len(data) != self.layout.chunk_bytes:
+            raise ValueError("write_chunk needs exactly one chunk of data")
+        # Verifying the old path first means corrupted siblings are caught
+        # now rather than silently incorporated into the new root.
+        self.read_chunk(chunk)
+        new_data = bytes(data)
+        current = chunk
+        while True:
+            self.memory.write(self.layout.chunk_address(current), new_data)
+            self.stats.add("chunk_writes")
+            digest = self.hash_fn.digest(new_data)
+            self.stats.add("hash_computations")
+            location = self.layout.hash_location(current)
+            if location.in_secure_memory:
+                self.secure_store[location.index] = digest
+                return
+            parent_data = bytearray(self._fetch(location.parent_chunk))
+            start = location.index * self.layout.hash_bytes
+            parent_data[start : start + self.layout.hash_bytes] = digest
+            new_data = bytes(parent_data)
+            current = location.parent_chunk
+
+    # -- byte-granularity API over the protected address space ------------------
+
+    def read(self, address: int, length: int) -> bytes:
+        """Verified read of ``length`` bytes at protected address ``address``."""
+        pieces = []
+        remaining = length
+        cursor = address
+        while remaining > 0:
+            chunk, offset = self.layout.leaf_for_address(cursor)
+            take = min(remaining, self.layout.chunk_bytes - offset)
+            pieces.append(self.read_chunk(chunk)[offset : offset + take])
+            cursor += take
+            remaining -= take
+        return b"".join(pieces)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Verified read-modify-write of bytes at protected address ``address``."""
+        cursor = address
+        view = memoryview(data)
+        while view:
+            chunk, offset = self.layout.leaf_for_address(cursor)
+            take = min(len(view), self.layout.chunk_bytes - offset)
+            old = bytearray(self.read_chunk(chunk))
+            old[offset : offset + take] = view[:take]
+            self.write_chunk(chunk, bytes(old))
+            cursor += take
+            view = view[take:]
+
+    def invalidate_chunk(self, chunk: int) -> None:
+        """No-op: the uncached tree holds no on-chip copies."""
+
+    def rebuild_chunk_from_memory(self, chunk: int) -> None:
+        """Recompute ``chunk``'s hash from memory and repair the path up.
+
+        Each ancestor is patched and re-hashed in turn, so the root again
+        covers the (DMA-modified) memory image.
+        """
+        digest = self._hash_chunk_in_memory(chunk)
+        self.stats.add("hash_computations")
+        current = chunk
+        while True:
+            location = self.layout.hash_location(current)
+            if location.in_secure_memory:
+                self.secure_store[location.index] = digest
+                return
+            parent_data = bytearray(self._fetch(location.parent_chunk))
+            start = location.index * self.layout.hash_bytes
+            parent_data[start : start + self.layout.hash_bytes] = digest
+            self.memory.write(self.layout.chunk_address(location.parent_chunk),
+                              bytes(parent_data))
+            self.stats.add("chunk_writes")
+            digest = self.hash_fn.digest(bytes(parent_data))
+            self.stats.add("hash_computations")
+            current = location.parent_chunk
+
+    def flush(self) -> None:
+        """No-op: the uncached tree is always written through."""
+
+    # -- internals ---------------------------------------------------------------
+
+    def _fetch(self, chunk: int) -> bytes:
+        self.stats.add("chunk_reads")
+        return self.memory.read(
+            self.layout.chunk_address(chunk), self.layout.chunk_bytes
+        )
+
+    def _hash_chunk_in_memory(self, chunk: int) -> bytes:
+        data = self.memory.peek(
+            self.layout.chunk_address(chunk), self.layout.chunk_bytes
+        )
+        return self.hash_fn.digest(data)
+
+    def _store_hash(self, chunk: int, digest: bytes) -> None:
+        location = self.layout.hash_location(chunk)
+        if location.in_secure_memory:
+            self.secure_store[location.index] = digest
+        else:
+            self.memory.poke(location.address, digest)
+
+    def _compare(self, computed: bytes, expected: bytes, chunk: int) -> None:
+        self.stats.add("hash_checks")
+        if computed != expected:
+            raise IntegrityError(
+                f"integrity check failed for chunk {chunk}",
+                address=self.layout.chunk_address(chunk),
+            )

@@ -1,0 +1,248 @@
+"""High-level memory-verification API (Sections 5.6–5.8).
+
+:class:`MemoryVerifier` is the facade a "program" (or the certified-
+execution runtime) talks to.  It owns:
+
+* one functional tree (naive / chash / mhash / ihash) over the protected
+  segment ``[0, data_bytes)`` of an untrusted RAM;
+* the secure-mode state machine — reads and writes only verify once
+  :meth:`initialize` has run (Section 5.8);
+* the unprotected window above the tree and the ``ReadWithoutChecking``
+  discipline (Section 5.7): protected chunks may be marked unprotected for
+  DMA and must then be explicitly rebuilt before normal reads resume.
+
+Addresses given to the verifier are *protected-space* addresses: the
+verifier (not the program) knows that leaf chunks live above the hash
+chunks physically.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Set
+
+from ..common.errors import ConfigurationError, SecureModeError
+from ..crypto.hashes import HashFunction, default_hash
+from ..memory.main_memory import UntrustedMemory
+from .cached import CachedHashTree
+from .incremental import IncrementalMacTree
+from .layout import TreeLayout
+from .multiblock import MultiBlockHashTree
+from .tree import HashTree
+
+
+class VerifierState(enum.Enum):
+    UNINITIALIZED = "uninitialized"
+    ACTIVE = "active"
+
+
+class MemoryVerifier:
+    """Verified load/store interface over an untrusted RAM.
+
+    Parameters
+    ----------
+    memory:
+        The untrusted RAM; must hold the tree plus any unprotected window.
+    data_bytes:
+        Size of the protected (program-visible) segment.
+    scheme:
+        ``"naive"``, ``"chash"``, ``"mhash"`` or ``"ihash"``.
+    chunk_bytes, cache_chunks, blocks_per_chunk, mac_key, hash_fn:
+        Forwarded to the underlying tree.
+    """
+
+    def __init__(
+        self,
+        memory: UntrustedMemory,
+        data_bytes: int,
+        scheme: str = "chash",
+        chunk_bytes: int = 64,
+        cache_chunks: int = 1024,
+        blocks_per_chunk: int = 2,
+        mac_key: bytes = b"ihash-default-key",
+        hash_fn: Optional[HashFunction] = None,
+    ):
+        hash_fn = hash_fn if hash_fn is not None else default_hash()
+        self.layout = TreeLayout(data_bytes, chunk_bytes, hash_fn.digest_bytes)
+        if memory.size_bytes < self.layout.physical_bytes:
+            raise ConfigurationError(
+                f"memory of {memory.size_bytes} bytes cannot hold the tree "
+                f"({self.layout.physical_bytes} bytes); leave headroom for "
+                f"an unprotected window if DMA is needed"
+            )
+        self.memory = memory
+        self.scheme = scheme
+        if scheme == "naive":
+            self.tree = HashTree(memory, self.layout, hash_fn)
+        elif scheme == "chash":
+            self.tree = CachedHashTree(
+                memory, self.layout, hash_fn, capacity_chunks=cache_chunks
+            )
+        elif scheme == "mhash":
+            self.tree = MultiBlockHashTree(
+                memory,
+                self.layout,
+                blocks_per_chunk=blocks_per_chunk,
+                hash_fn=hash_fn,
+                capacity_blocks=cache_chunks * blocks_per_chunk,
+            )
+        elif scheme == "ihash":
+            self.tree = IncrementalMacTree(
+                memory,
+                self.layout,
+                blocks_per_chunk=blocks_per_chunk,
+                mac_key=mac_key,
+                hash_fn=hash_fn,
+                capacity_blocks=cache_chunks * blocks_per_chunk,
+            )
+        else:
+            raise ConfigurationError(f"unknown scheme {scheme!r}")
+        self.state = VerifierState.UNINITIALIZED
+        self._unprotected_chunks: Set[int] = set()
+
+    # -- secure-mode lifecycle ----------------------------------------------------
+
+    def initialize(self) -> None:
+        """Enter secure mode: cover current memory contents with the tree.
+
+        chash uses the paper's write-touch-then-flush procedure; naive
+        builds bottom-up; mhash/ihash compute entries from scratch (the
+        flush trick cannot produce from-scratch MACs, see Section 5.8's
+        footnote).
+        """
+        if isinstance(self.tree, CachedHashTree):
+            self.tree.initialize_by_touch()
+        elif isinstance(self.tree, MultiBlockHashTree):
+            self.tree.initialize_from_memory()
+        else:
+            self.tree.build()
+        self.state = VerifierState.ACTIVE
+
+    @property
+    def active(self) -> bool:
+        return self.state is VerifierState.ACTIVE
+
+    def _require_active(self) -> None:
+        if not self.active:
+            raise SecureModeError("verifier not initialized; call initialize()")
+
+    # -- protected accesses ----------------------------------------------------------
+
+    def is_protected(self, address: int) -> bool:
+        """True when ``address`` lies in the protected segment *and* its
+        chunk has not been temporarily unprotected for DMA."""
+        if not 0 <= address < self.layout.data_bytes:
+            return False
+        chunk, _ = self.layout.leaf_for_address(address)
+        return chunk not in self._unprotected_chunks
+
+    def read(self, address: int, length: int) -> bytes:
+        """Verified read; refuses unprotected bytes (use read_without_checking)."""
+        self._require_active()
+        self._refuse_unprotected(address, length)
+        return self.tree.read(address, length)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Verified write into the protected segment."""
+        self._require_active()
+        self._refuse_unprotected(address, len(data))
+        self.tree.write(address, data)
+
+    def flush(self) -> None:
+        """Write back all dirty trusted-cache state."""
+        self.tree.flush()
+
+    # -- the unprotected world (Section 5.7) --------------------------------------------
+
+    @property
+    def unprotected_window(self) -> range:
+        """Protected-space addresses that map past the tree: always unprotected."""
+        extra = self.memory.size_bytes - self.layout.physical_bytes
+        return range(self.layout.data_bytes, self.layout.data_bytes + extra)
+
+    def read_without_checking(self, address: int, length: int) -> bytes:
+        """The explicit ReadWithoutChecking instruction.
+
+        Succeeds only on unprotected bytes — a program cannot be tricked
+        into unchecked reads of data it believes is protected, and
+        symmetrically cannot silently read unprotected data with a normal
+        load.
+        """
+        for offset in range(0, length, self.layout.chunk_bytes):
+            probe = address + offset
+            if self.is_protected(probe) or self.is_protected(
+                min(address + length - 1, probe + self.layout.chunk_bytes - 1)
+            ):
+                raise SecureModeError(
+                    f"address {probe:#x} is protected; use a normal read"
+                )
+        return self.memory.peek(*self._physical_span(address, length))
+
+    def write_without_checking(self, address: int, data: bytes) -> None:
+        """Raw store into unprotected bytes (models a DMA landing zone)."""
+        probes = list(range(0, len(data), self.layout.chunk_bytes)) + [len(data) - 1]
+        if any(self.is_protected(address + off) for off in probes):
+            raise SecureModeError("cannot write protected bytes unchecked")
+        physical, _ = self._physical_span(address, len(data))
+        self.memory.write(physical, data)
+
+    def unprotect_range(self, address: int, length: int) -> None:
+        """Mark whole chunks as unprotected ahead of a DMA transfer.
+
+        Cached copies are dropped so the DMA data is observed on the next
+        (rebuilt) read.
+        """
+        self._require_active()
+        for chunk in self._chunks_covering(address, length):
+            self._unprotected_chunks.add(chunk)
+            self.tree.invalidate_chunk(chunk)
+
+    def rebuild_range(self, address: int, length: int) -> None:
+        """Recompute tree entries over DMA-written chunks and re-protect them."""
+        self._require_active()
+        for chunk in self._chunks_covering(address, length):
+            if chunk not in self._unprotected_chunks:
+                raise SecureModeError(f"chunk {chunk} was not unprotected")
+            self.tree.rebuild_chunk_from_memory(chunk)
+            self._unprotected_chunks.discard(chunk)
+
+    def physical_address(self, address: int) -> int:
+        """Translate a protected/window address to its physical address."""
+        physical, _ = self._physical_span(address, 1)
+        return physical
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _chunks_covering(self, address: int, length: int) -> range:
+        if length <= 0:
+            raise ValueError("length must be positive")
+        first, _ = self.layout.leaf_for_address(address)
+        last, _ = self.layout.leaf_for_address(address + length - 1)
+        return range(first, last + 1)
+
+    def _refuse_unprotected(self, address: int, length: int) -> None:
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if address + length > self.layout.data_bytes:
+            raise SecureModeError(
+                "access crosses into the unprotected window; "
+                "use read/write_without_checking"
+            )
+        for chunk in self._chunks_covering(address, length):
+            if chunk in self._unprotected_chunks:
+                raise SecureModeError(
+                    f"chunk {chunk} is unprotected (pending DMA rebuild)"
+                )
+
+    def _physical_span(self, address: int, length: int) -> tuple[int, int]:
+        """Map a verifier-space span to (physical_address, length)."""
+        if 0 <= address < self.layout.data_bytes:
+            if address + length > self.layout.data_bytes:
+                raise SecureModeError("span crosses the protection boundary")
+            chunk, offset = self.layout.leaf_for_address(address)
+            return self.layout.chunk_address(chunk) + offset, length
+        window = self.unprotected_window
+        if address in window and (address + length - 1) in window:
+            physical = self.layout.physical_bytes + (address - window.start)
+            return physical, length
+        raise IndexError(f"address {address:#x} outside the verifier's space")

@@ -1,0 +1,238 @@
+"""Virtual-memory verification for multiple programs (Section 5.6).
+
+The paper verifies *physical* memory and notes that per-program *virtual*
+verification under an untrusted OS "is a difficult problem that has yet to
+be studied in detail".  This module implements the straightforward point
+in that design space, as a working extension:
+
+* one shared untrusted RAM is partitioned into per-context carve-outs;
+* each :class:`VerifiedContext` owns its own hash tree (its own secure
+  root) over its carve-out, so programs are isolated by construction —
+  no key or root is shared;
+* inside a context, a page table maps virtual pages to context-local
+  frames.  The *untrusted OS* may remap pages (``map_page``) and swap
+  them out/in; swap-in goes through the DMA discipline (unprotect →
+  deposit → rebuild) plus a page digest recorded at swap-out, so the OS
+  cannot substitute page contents;
+* an OS that hands one program a frame backed by another program's
+  physical memory is caught immediately: the frame lies outside the
+  context's tree (refused), and tampering with a swapped-out page fails
+  its digest check at swap-in.
+
+The hard problems the paper alludes to (aliasing in a shared cache,
+copy-on-write sharing) are intentionally out of scope and documented as
+such — contexts here never share frames.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..common.errors import ConfigurationError, SecureModeError
+from ..crypto.hashes import HashFunction
+from ..memory.main_memory import UntrustedMemory
+from .verifier import MemoryVerifier
+
+
+@dataclass
+class _PageTableEntry:
+    frame: int
+    present: bool = True
+    #: digest recorded at swap-out; None while resident.
+    swap_digest: Optional[bytes] = None
+
+
+class VerifiedContext:
+    """One program's verified virtual address space."""
+
+    def __init__(self, name: str, verifier: MemoryVerifier, page_bytes: int,
+                 n_frames: int):
+        self.name = name
+        self.verifier = verifier
+        self.page_bytes = page_bytes
+        self.n_frames = n_frames
+        self._page_table: Dict[int, _PageTableEntry] = {}
+        self._free_frames = list(range(n_frames))
+
+    # -- OS-facing management (untrusted caller!) ---------------------------------
+
+    def map_page(self, virtual_page: int, frame: Optional[int] = None) -> int:
+        """Map a virtual page to a context-local frame.
+
+        The OS chooses placement, but only frames inside this context's
+        tree are accepted — it cannot point a page at another program's
+        memory.
+        """
+        if virtual_page in self._page_table:
+            raise SecureModeError(f"page {virtual_page} already mapped")
+        if frame is None:
+            if not self._free_frames:
+                raise SecureModeError("out of frames")
+            frame = self._free_frames.pop()
+        else:
+            if not 0 <= frame < self.n_frames:
+                raise SecureModeError(
+                    f"frame {frame} outside context {self.name!r}"
+                )
+            if frame not in self._free_frames:
+                raise SecureModeError(f"frame {frame} is in use")
+            self._free_frames.remove(frame)
+        self._page_table[virtual_page] = _PageTableEntry(frame=frame)
+        return frame
+
+    def swap_out(self, virtual_page: int) -> bytes:
+        """Evict a page to (untrusted) backing store; returns its bytes.
+
+        The page's digest stays inside the context, so the OS cannot
+        substitute contents at swap-in.
+        """
+        entry = self._resident_entry(virtual_page)
+        address = entry.frame * self.page_bytes
+        contents = self.verifier.read(address, self.page_bytes)
+        entry.swap_digest = hashlib.sha256(contents).digest()
+        entry.present = False
+        self._free_frames.append(entry.frame)
+        return contents
+
+    def swap_in(self, virtual_page: int, contents: bytes,
+                frame: Optional[int] = None) -> None:
+        """Bring a swapped page back through the DMA discipline."""
+        entry = self._page_table.get(virtual_page)
+        if entry is None or entry.present:
+            raise SecureModeError(f"page {virtual_page} is not swapped out")
+        if len(contents) != self.page_bytes:
+            raise SecureModeError("swap-in must restore a whole page")
+        if hashlib.sha256(contents).digest() != entry.swap_digest:
+            raise SecureModeError(
+                f"swap-in of page {virtual_page} failed its digest check"
+            )
+        if frame is None:
+            if not self._free_frames:
+                raise SecureModeError("out of frames")
+            frame = self._free_frames.pop()
+        else:
+            if frame not in self._free_frames:
+                raise SecureModeError(f"frame {frame} is in use")
+            self._free_frames.remove(frame)
+        address = frame * self.page_bytes
+        # unprotect -> deposit (as DMA would) -> rebuild
+        self.verifier.unprotect_range(address, self.page_bytes)
+        self.verifier.memory.write(self.verifier.physical_address(address),
+                                   contents)
+        self.verifier.rebuild_range(address, self.page_bytes)
+        entry.frame = frame
+        entry.present = True
+        entry.swap_digest = None
+
+    # -- program-facing verified accesses --------------------------------------------
+
+    def read(self, virtual_address: int, length: int) -> bytes:
+        pieces = []
+        cursor, remaining = virtual_address, length
+        while remaining > 0:
+            physical, take = self._translate(cursor, remaining)
+            pieces.append(self.verifier.read(physical, take))
+            cursor += take
+            remaining -= take
+        return b"".join(pieces)
+
+    def write(self, virtual_address: int, data: bytes) -> None:
+        view = memoryview(data)
+        cursor = virtual_address
+        while view:
+            physical, take = self._translate(cursor, len(view))
+            self.verifier.write(physical, bytes(view[:take]))
+            cursor += take
+            view = view[take:]
+
+    def _translate(self, virtual_address: int, remaining: int) -> tuple[int, int]:
+        page, offset = divmod(virtual_address, self.page_bytes)
+        entry = self._resident_entry(page)
+        take = min(remaining, self.page_bytes - offset)
+        return entry.frame * self.page_bytes + offset, take
+
+    def _resident_entry(self, virtual_page: int) -> _PageTableEntry:
+        entry = self._page_table.get(virtual_page)
+        if entry is None:
+            raise SecureModeError(
+                f"page fault: page {virtual_page} unmapped in {self.name!r}"
+            )
+        if not entry.present:
+            raise SecureModeError(
+                f"page fault: page {virtual_page} is swapped out"
+            )
+        return entry
+
+
+class MultiProgramVerifier:
+    """Partition one untrusted RAM among isolated verified contexts."""
+
+    def __init__(self, memory: UntrustedMemory, page_bytes: int = 4096,
+                 scheme: str = "chash",
+                 hash_fn: Optional[HashFunction] = None):
+        self.memory = memory
+        self.page_bytes = page_bytes
+        self.scheme = scheme
+        self.hash_fn = hash_fn
+        self._contexts: Dict[str, VerifiedContext] = {}
+        self._next_physical = 0
+
+    def create_context(self, name: str, n_pages: int) -> VerifiedContext:
+        """Carve out a context with its own tree and secure root."""
+        if name in self._contexts:
+            raise ConfigurationError(f"context {name!r} already exists")
+        data_bytes = n_pages * self.page_bytes
+        carve_out = _SegmentMemory(self.memory, self._next_physical)
+        verifier = MemoryVerifier(
+            carve_out,
+            data_bytes,
+            scheme=self.scheme,
+            hash_fn=self.hash_fn,
+        )
+        footprint = verifier.layout.physical_bytes
+        if self._next_physical + footprint > self.memory.size_bytes:
+            raise ConfigurationError("physical memory exhausted")
+        carve_out.size_bytes = footprint
+        self._next_physical += footprint
+        verifier.initialize()
+        context = VerifiedContext(name, verifier, self.page_bytes, n_pages)
+        self._contexts[name] = context
+        return context
+
+    def context(self, name: str) -> VerifiedContext:
+        return self._contexts[name]
+
+
+class _SegmentMemory:
+    """A windowed view of the shared RAM (duck-typed UntrustedMemory)."""
+
+    def __init__(self, memory: UntrustedMemory, base: int, size: int = 0):
+        self._memory = memory
+        self.base = base
+        self.size_bytes = size if size else memory.size_bytes - base
+        self.adversary = memory.adversary
+
+    def read(self, address: int, length: int) -> bytes:
+        self._check(address, length)
+        return self._memory.read(self.base + address, length)
+
+    def write(self, address: int, data: bytes) -> None:
+        self._check(address, len(data))
+        self._memory.write(self.base + address, data)
+
+    def peek(self, address: int, length: int) -> bytes:
+        self._check(address, length)
+        return self._memory.peek(self.base + address, length)
+
+    def poke(self, address: int, data: bytes) -> None:
+        self._check(address, len(data))
+        self._memory.poke(self.base + address, data)
+
+    def _check(self, address: int, length: int) -> None:
+        if address < 0 or address + length > self.size_bytes:
+            raise IndexError(
+                f"segment access [{address}, {address + length}) outside "
+                f"window of {self.size_bytes} bytes"
+            )

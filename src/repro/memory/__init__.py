@@ -1,0 +1,26 @@
+"""Untrusted external memory, bus adversaries, and DMA."""
+
+from .adversary import (
+    Adversary,
+    PassiveObserver,
+    PredictiveReplayAdversary,
+    ReplayAdversary,
+    ScriptedAdversary,
+    SpliceAdversary,
+    TamperAdversary,
+)
+from .dma import DMAController, DMADevice
+from .main_memory import UntrustedMemory
+
+__all__ = [
+    "Adversary",
+    "PassiveObserver",
+    "PredictiveReplayAdversary",
+    "ReplayAdversary",
+    "ScriptedAdversary",
+    "SpliceAdversary",
+    "TamperAdversary",
+    "DMAController",
+    "DMADevice",
+    "UntrustedMemory",
+]

@@ -1,0 +1,252 @@
+"""Adversary models for the untrusted memory bus (Sections 3, 4.4, 5.4.1).
+
+An adversary is a probe on the memory bus: it sees every read and write and
+may substitute the bytes either direction.  The classes below implement the
+attack classes the paper reasons about:
+
+* :class:`TamperAdversary` — spoofing: corrupt stored data.
+* :class:`SpliceAdversary` — splicing: answer a read with data copied from
+  a different address.
+* :class:`ReplayAdversary` — replay: answer a read with a *stale* value
+  that was legitimately stored at the same address earlier (this is the
+  attack that breaks XOM's per-block MACs, Section 4.4).
+* :class:`PredictiveReplayAdversary` — the "correctly predict the new
+  value" attack against the timestamp-less incremental MAC
+  (Section 5.4.1): swallow a write whose new value the adversary knows,
+  leaving the old value in memory.
+
+Each adversary can be armed/disarmed and records what it did, so tests can
+assert both that tampering happened and that it was detected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..common.errors import AdversaryError
+from .main_memory import UntrustedMemory
+
+
+class Adversary:
+    """Base class: a transparent probe that records nothing."""
+
+    def __init__(self) -> None:
+        self.armed = True
+        self.actions: List[str] = []
+
+    def on_read(self, memory: UntrustedMemory, address: int, data: bytes) -> bytes:
+        """Called with the true stored bytes; returns what the bus delivers."""
+        return data
+
+    def on_write(self, memory: UntrustedMemory, address: int, data: bytes) -> bytes:
+        """Called with the bytes the processor sent; returns what is stored."""
+        return data
+
+    def _log(self, message: str) -> None:
+        self.actions.append(message)
+
+    @property
+    def tampered(self) -> bool:
+        """True once this adversary has actually interfered."""
+        return bool(self.actions)
+
+
+class PassiveObserver(Adversary):
+    """Watches the bus without modifying anything (for access-pattern attacks)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.observed: List[Tuple[str, int, bytes]] = []
+
+    def on_read(self, memory: UntrustedMemory, address: int, data: bytes) -> bytes:
+        self.observed.append(("read", address, data))
+        return data
+
+    def on_write(self, memory: UntrustedMemory, address: int, data: bytes) -> bytes:
+        self.observed.append(("write", address, data))
+        return data
+
+
+class TamperAdversary(Adversary):
+    """Flip bits in the data returned for reads covering a target address.
+
+    Parameters
+    ----------
+    target_address:
+        Absolute byte address to corrupt.
+    xor_mask:
+        Byte XORed into the target (default flips every bit of one byte).
+    trigger_after:
+        Number of covering reads to let pass before striking; the attack
+        fires once.
+    """
+
+    def __init__(
+        self, target_address: int, xor_mask: int = 0xFF, trigger_after: int = 0
+    ):
+        super().__init__()
+        if not 0 <= xor_mask <= 0xFF:
+            raise AdversaryError("xor_mask must be one byte")
+        if xor_mask == 0:
+            raise AdversaryError("xor_mask of zero would not tamper at all")
+        self.target_address = target_address
+        self.xor_mask = xor_mask
+        self.trigger_after = trigger_after
+        self._seen = 0
+        self._fired = False
+
+    def on_read(self, memory: UntrustedMemory, address: int, data: bytes) -> bytes:
+        if not self.armed or self._fired:
+            return data
+        if not address <= self.target_address < address + len(data):
+            return data
+        if self._seen < self.trigger_after:
+            self._seen += 1
+            return data
+        offset = self.target_address - address
+        corrupted = bytearray(data)
+        corrupted[offset] ^= self.xor_mask
+        self._fired = True
+        self._log(f"tampered read at {self.target_address:#x}")
+        return bytes(corrupted)
+
+
+class SpliceAdversary(Adversary):
+    """Answer reads of ``target_address`` with the bytes stored at ``source_address``.
+
+    Defeats naive per-block hashing that does not bind the address into the
+    hash; always caught by the tree because the hash lives at a
+    position determined by the data's address.
+    """
+
+    def __init__(self, target_address: int, source_address: int):
+        super().__init__()
+        self.target_address = target_address
+        self.source_address = source_address
+
+    def on_read(self, memory: UntrustedMemory, address: int, data: bytes) -> bytes:
+        if not self.armed:
+            return data
+        if not address <= self.target_address < address + len(data):
+            return data
+        length = len(data)
+        spliced = memory.peek(self.source_address, length)
+        self._log(
+            f"spliced read at {self.target_address:#x} from {self.source_address:#x}"
+        )
+        return spliced
+
+
+class ReplayAdversary(Adversary):
+    """Return stale-but-genuine data: the classic freshness attack.
+
+    Records the ``snapshot_on_write`` -th value written over
+    ``target_address`` and substitutes it on every later read once armed.
+    Since the stale value *was* legitimately stored at the same address,
+    any address-bound MAC without freshness (XOM's scheme) accepts it;
+    only the tree (whose root is on-chip) detects it.
+    """
+
+    def __init__(self, target_address: int, length: int, snapshot_on_write: int = 0):
+        super().__init__()
+        self.target_address = target_address
+        self.length = length
+        self.snapshot_on_write = snapshot_on_write
+        self._writes_seen = 0
+        self._snapshot: Optional[bytes] = None
+        self.replaying = False
+
+    def on_write(self, memory: UntrustedMemory, address: int, data: bytes) -> bytes:
+        covers = (
+            address <= self.target_address
+            and self.target_address + self.length <= address + len(data)
+        )
+        if covers and self._snapshot is None:
+            if self._writes_seen == self.snapshot_on_write:
+                offset = self.target_address - address
+                self._snapshot = data[offset : offset + self.length]
+                self._log(f"snapshotted {self.length} bytes at {self.target_address:#x}")
+            self._writes_seen += 1
+        return data
+
+    def on_read(self, memory: UntrustedMemory, address: int, data: bytes) -> bytes:
+        if not (self.armed and self.replaying and self._snapshot is not None):
+            return data
+        covers = (
+            address <= self.target_address
+            and self.target_address + self.length <= address + len(data)
+        )
+        if not covers:
+            return data
+        offset = self.target_address - address
+        replayed = bytearray(data)
+        replayed[offset : offset + self.length] = self._snapshot
+        self._log(f"replayed stale value at {self.target_address:#x}")
+        return bytes(replayed)
+
+    def start_replaying(self) -> None:
+        if self._snapshot is None:
+            raise AdversaryError("nothing snapshotted yet; cannot replay")
+        self.replaying = True
+
+
+class PredictiveReplayAdversary(Adversary):
+    """The Section 5.4.1 attack on the incremental MAC without timestamps.
+
+    If the adversary correctly predicts the new value ``d_n`` of a block
+    being written back, it can *drop the write* (leave the old value
+    ``d_o`` in memory) and later answer the checker's unchecked
+    read-of-old-value with ``d_o`` while feeding the program ``d_n``…  the
+    MAC update terms then cancel.  With the one-bit timestamp folded into
+    every term the cancellation is impossible.
+
+    This adversary swallows the next write that covers ``target_address``
+    and thereafter lies on reads: it returns the dropped (old) value to the
+    program while the incremental checker's raw old-value read sees memory
+    as-is, reproducing the algebra of the paper's analysis.
+    """
+
+    def __init__(self, target_address: int, length: int):
+        super().__init__()
+        self.target_address = target_address
+        self.length = length
+        self.dropped_write: Optional[bytes] = None
+
+    def on_write(self, memory: UntrustedMemory, address: int, data: bytes) -> bytes:
+        if not self.armed or self.dropped_write is not None:
+            return data
+        covers = (
+            address <= self.target_address
+            and self.target_address + self.length <= address + len(data)
+        )
+        if not covers:
+            return data
+        offset = self.target_address - address
+        old = memory.peek(address, len(data))
+        self.dropped_write = data[offset : offset + self.length]
+        kept = bytearray(data)
+        kept[offset : offset + self.length] = old[offset : offset + self.length]
+        self._log(f"dropped write of {self.length} bytes at {self.target_address:#x}")
+        return bytes(kept)
+
+
+class ScriptedAdversary(Adversary):
+    """Composable adversary driving several sub-adversaries at once."""
+
+    def __init__(self, *children: Adversary):
+        super().__init__()
+        self.children = list(children)
+
+    def on_read(self, memory: UntrustedMemory, address: int, data: bytes) -> bytes:
+        for child in self.children:
+            data = child.on_read(memory, address, data)
+        return data
+
+    def on_write(self, memory: UntrustedMemory, address: int, data: bytes) -> bytes:
+        for child in self.children:
+            data = child.on_write(memory, address, data)
+        return data
+
+    @property
+    def tampered(self) -> bool:
+        return any(child.tampered for child in self.children)

@@ -1,0 +1,87 @@
+"""Direct Memory Access into verified memory (Section 5.7).
+
+A DMA device writes to RAM without the processor in the loop, so the hash
+tree does not cover the new data — by design, since the data has an
+untrusted origin.  The paper names two recovery strategies:
+
+1. mark the covering subtree unprotected, let the device write, then
+   rebuild that part of the tree (:meth:`DMAController.transfer_and_rebuild`);
+2. land the transfer in an unprotected region and have the processor copy
+   it into protected memory (:meth:`DMAController.transfer_and_copy`).
+
+Either way the data only becomes *protected*, not *trusted*: the
+application must still check it (e.g. against an expected digest), which
+:meth:`DMAController.transfer_and_copy` supports via ``expected_digest``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from ..common.errors import SecureModeError
+from .main_memory import UntrustedMemory
+
+
+class DMADevice:
+    """A bus master (disk, NIC) that can deposit bytes anywhere in RAM."""
+
+    def __init__(self, memory: UntrustedMemory):
+        self.memory = memory
+        self.transfers = 0
+
+    def transfer(self, address: int, payload: bytes) -> None:
+        """Write ``payload`` to RAM directly, bypassing the processor."""
+        # DMA does not go through the processor, but it is still on the bus,
+        # so the adversary hook applies.
+        self.memory.write(address, payload)
+        self.transfers += 1
+
+
+class DMAController:
+    """Processor-side orchestration of safe DMA into a verified region.
+
+    ``verifier`` is any object exposing the :class:`repro.hashtree.verifier.
+    MemoryVerifier` surface: ``read``/``write``/``unprotect_range``/
+    ``rebuild_range``/``read_without_checking`` plus ``is_protected``.
+    """
+
+    def __init__(self, verifier, device: DMADevice):
+        self.verifier = verifier
+        self.device = device
+
+    def transfer_and_rebuild(self, address: int, payload: bytes) -> None:
+        """Strategy 1: unprotect the landing zone, DMA, rebuild the tree.
+
+        ``address`` is a protected-space address; the device itself is given
+        the physical address of the landing zone.
+        """
+        self.verifier.unprotect_range(address, len(payload))
+        self.device.transfer(self.verifier.physical_address(address), payload)
+        self.verifier.rebuild_range(address, len(payload))
+
+    def transfer_and_copy(
+        self,
+        staging_address: int,
+        destination_address: int,
+        payload: bytes,
+        expected_digest: Optional[bytes] = None,
+    ) -> None:
+        """Strategy 2: DMA into unprotected memory, then copy in by hand.
+
+        The copy uses ``ReadWithoutChecking`` semantics on the staging area
+        (the processor must *choose* to read unprotected data, Section 5.7)
+        and ordinary verified writes on the destination.  If
+        ``expected_digest`` is given the staged bytes are checked before any
+        of them enter protected memory.
+        """
+        if self.verifier.is_protected(staging_address):
+            raise SecureModeError(
+                "staging area for DMA must lie outside the protected region"
+            )
+        self.device.transfer(self.verifier.physical_address(staging_address), payload)
+        staged = self.verifier.read_without_checking(staging_address, len(payload))
+        if expected_digest is not None:
+            if hashlib.sha256(staged).digest() != expected_digest:
+                raise SecureModeError("DMA payload failed the application's check")
+        self.verifier.write(destination_address, staged)

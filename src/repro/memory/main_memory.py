@@ -1,0 +1,99 @@
+"""Untrusted external memory (Section 3).
+
+Everything outside the processor chip — this RAM included — can be observed
+and modified by the adversary.  :class:`UntrustedMemory` is a flat byte
+array with an optional :class:`~repro.memory.adversary.Adversary` attached;
+the adversary sees every bus transaction and may corrupt the data returned
+to the processor or the data actually stored, exactly like a probe on the
+memory bus.
+
+The *functional* hash-tree layer reads and writes through this object; the
+timing layer models the same transactions with counters only.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .adversary import Adversary
+
+
+class UntrustedMemory:
+    """Byte-addressable RAM sitting outside the security perimeter.
+
+    Parameters
+    ----------
+    size_bytes:
+        Capacity; accesses beyond it raise ``IndexError``.
+    adversary:
+        Optional bus probe; see :mod:`repro.memory.adversary`.
+    record_trace:
+        When True, every access is appended to :attr:`trace` as
+        ``(op, address, length)`` — useful in tests and attack scripts.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        adversary: Optional["Adversary"] = None,
+        record_trace: bool = False,
+    ):
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        self.size_bytes = size_bytes
+        self._data = bytearray(size_bytes)
+        self.adversary = adversary
+        self.record_trace = record_trace
+        self.trace: List[Tuple[str, int, int]] = []
+        self.reads = 0
+        self.writes = 0
+
+    # -- bus-visible accesses (adversary in the loop) -----------------------
+
+    def read(self, address: int, length: int) -> bytes:
+        """A bus read: the adversary may substitute the returned bytes."""
+        self._check_range(address, length)
+        self.reads += 1
+        if self.record_trace:
+            self.trace.append(("read", address, length))
+        data = bytes(self._data[address : address + length])
+        if self.adversary is not None:
+            data = self.adversary.on_read(self, address, data)
+            if len(data) != length:
+                raise ValueError("adversary must preserve transfer length")
+        return data
+
+    def write(self, address: int, data: bytes) -> None:
+        """A bus write: the adversary may substitute the stored bytes."""
+        self._check_range(address, len(data))
+        self.writes += 1
+        if self.record_trace:
+            self.trace.append(("write", address, len(data)))
+        if self.adversary is not None:
+            data = self.adversary.on_write(self, address, data)
+            if len(data) > self.size_bytes - address:
+                raise ValueError("adversary must preserve transfer length")
+        self._data[address : address + len(data)] = data
+
+    # -- out-of-band access (physical probing, used by adversaries/tests) ---
+
+    def peek(self, address: int, length: int) -> bytes:
+        """Read the true stored bytes without going through the bus."""
+        self._check_range(address, length)
+        return bytes(self._data[address : address + length])
+
+    def poke(self, address: int, data: bytes) -> None:
+        """Directly overwrite stored bytes (a physical attack primitive)."""
+        self._check_range(address, len(data))
+        self._data[address : address + len(data)] = data
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or length < 0 or address + length > self.size_bytes:
+            raise IndexError(
+                f"access [{address}, {address + length}) outside memory of "
+                f"{self.size_bytes} bytes"
+            )
+
+    def __len__(self) -> int:
+        return self.size_bytes

@@ -1,0 +1,47 @@
+"""Timing models of the five memory-integrity schemes of the paper."""
+
+from typing import Optional
+
+from ..cache.cache import CacheSim
+from ..common.config import SchemeKind, SystemConfig
+from ..dram.bus import MainMemoryTiming
+from ..hashengine.engine import HashEngineTiming
+from ..hashtree.layout import TreeLayout
+from .api import MissOutcome, TimingScheme
+from .base import BaseScheme
+from .chash import CHashScheme
+from .ihash import IHashScheme
+from .mhash import MHashScheme
+from .naive import NaiveScheme
+
+_SCHEMES = {
+    SchemeKind.BASE: BaseScheme,
+    SchemeKind.NAIVE: NaiveScheme,
+    SchemeKind.CHASH: CHashScheme,
+    SchemeKind.MHASH: MHashScheme,
+    SchemeKind.IHASH: IHashScheme,
+}
+
+
+def build_scheme(
+    config: SystemConfig,
+    l2: CacheSim,
+    memory: MainMemoryTiming,
+    engine: HashEngineTiming,
+    layout: Optional[TreeLayout],
+) -> TimingScheme:
+    """Instantiate the timing scheme selected by ``config.scheme``."""
+    cls = _SCHEMES[config.scheme]
+    return cls(config, l2, memory, engine, layout)
+
+
+__all__ = [
+    "MissOutcome",
+    "TimingScheme",
+    "BaseScheme",
+    "NaiveScheme",
+    "CHashScheme",
+    "MHashScheme",
+    "IHashScheme",
+    "build_scheme",
+]

@@ -1,0 +1,104 @@
+"""The chash scheme: hash-tree machinery merged with the L2 (Section 5.3).
+
+On a miss the fetched chunk is hashed and compared against its parent
+entry, *where the parent lookup goes through the L2*: a cached ancestor is
+trusted and terminates the walk, and fetched hash chunks allocate in the
+L2 like data (that allocation is both the win — fewer than one extra
+memory access per miss, Figure 5a — and the cost — cache pollution,
+Figure 4).  Dirty evictions re-hash the block and write the new hash into
+the parent entry through the cache, dirtying it in turn.
+"""
+
+from __future__ import annotations
+
+from .api import MAX_CASCADE_DEPTH, MissOutcome, TimingScheme
+
+
+class CHashScheme(TimingScheme):
+    name = "chash"
+
+    def handle_data_miss(self, address: int, now: int, write: bool) -> MissOutcome:
+        self.stats.add("data_misses")
+        data_ready, check_done = self._fetch_checked(address, now, kind="data",
+                                                     depth=0)
+        self._fill_l2(address, now, dirty=write, kind="data")
+        return MissOutcome(data_ready=data_ready, check_done=check_done)
+
+    # -- verification walk -------------------------------------------------------
+
+    def _fetch_checked(self, address: int, now: int, kind: str,
+                       depth: int) -> tuple[int, int]:
+        """Fetch one chunk from memory and arrange its background check.
+
+        A read-buffer slot is held from the fetch until *this* chunk's own
+        hash comparison completes (hardware gives each buffered block its
+        own slot; ancestors fetched along the walk claim their own).
+        Returns ``(data_ready, chain_done)``.
+        """
+        slot, start = self.engine.begin_check(now)
+        data_ready, full_ready = self.memory.read_critical(
+            start, self.layout.chunk_bytes, kind=kind)
+        hashed = self.engine.hash_op(full_ready, self.layout.chunk_bytes)
+        expected_ready, chain_done = self._expected_hash(address, start, depth)
+        own_check = max(hashed, expected_ready)
+        self.engine.finish_check(slot, own_check)
+        return data_ready, max(own_check, chain_done)
+
+    def _expected_hash(self, address: int, now: int,
+                       depth: int) -> tuple[int, int]:
+        """Locate the parent hash for the chunk at ``address``.
+
+        Returns ``(value_ready, chain_done)``: when the hash value can be
+        compared against, and when the (possibly recursive) verification
+        of everything fetched along the way completes.
+        """
+        layout = self.layout
+        chunk = layout.chunk_at_address(address)
+        location = layout.hash_location(chunk)
+        if location.in_secure_memory:
+            return now, now
+        lookup = self.l2.access(location.address, write=False, kind="hash")
+        if lookup.hit:
+            self.stats.add("hash_l2_hits")
+            ready = now + self.config.l2.latency_cycles
+            return ready, ready
+        self.stats.add("hash_l2_misses")
+        if depth >= MAX_CASCADE_DEPTH:  # pragma: no cover - guard
+            self.stats.add("cascade_depth_overflows")
+            return now, now
+        parent_address = layout.chunk_address(location.parent_chunk)
+        self.stats.add("hash_chunk_reads")
+        parent_ready, parent_chain = self._fetch_checked(parent_address, now,
+                                                         kind="hash",
+                                                         depth=depth + 1)
+        self._fill_l2(parent_address, now, dirty=False, kind="hash",
+                      depth=depth + 1)
+        return parent_ready, parent_chain
+
+    # -- write-back path ------------------------------------------------------------
+
+    def handle_writeback(self, victim_address: int, now: int, depth: int = 0) -> None:
+        """Hash the evicted block, store it, update the parent through L2."""
+        self.stats.add("writebacks")
+        layout = self.layout
+        slot, start = self.engine.begin_writeback(now)
+        hashed = self.engine.hash_op(start, layout.chunk_bytes)
+        self.memory.write(start, self.block_bytes, kind="writeback")
+        self.engine.finish_writeback(slot, hashed)
+        chunk = layout.chunk_at_address(victim_address)
+        location = layout.hash_location(chunk)
+        if location.in_secure_memory:
+            return
+        lookup = self.l2.access(location.address, write=True, kind="hash")
+        if lookup.hit:
+            self.stats.add("hash_l2_hits")
+            return
+        self.stats.add("hash_l2_misses")
+        if depth >= MAX_CASCADE_DEPTH:
+            self.stats.add("cascade_depth_overflows")
+            return
+        # Write-allocate the parent: fetch, verify, then dirty it in L2.
+        parent_address = layout.chunk_address(location.parent_chunk)
+        self.stats.add("hash_chunk_reads")
+        self._fetch_checked(parent_address, now, kind="hash", depth=depth + 1)
+        self._fill_l2(parent_address, now, dirty=True, kind="hash", depth=depth + 1)

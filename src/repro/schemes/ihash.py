@@ -1,0 +1,61 @@
+"""The ihash scheme: incremental MACs on the write-back path (Section 5.4.1).
+
+Reads verify like mhash (the whole chunk is assembled and MACed), but a
+dirty eviction avoids chunk assembly entirely: read the parent MAC through
+the L2, read the block's *old* value straight from memory (unchecked — the
+one-bit timestamps make that safe), swap the block's term in the MAC, and
+write the block plus the updated entry.  That single extra block read is
+why ihash tracks chash closely in Figure 8 except for the most
+bandwidth-bound benchmarks.
+"""
+
+from __future__ import annotations
+
+from .api import MAX_CASCADE_DEPTH
+from .mhash import MHashScheme
+
+
+class IHashScheme(MHashScheme):
+    name = "ihash"
+
+    def handle_writeback(self, victim_address: int, now: int, depth: int = 0) -> None:
+        """Incremental write-back: parent MAC + one unchecked old read."""
+        self.stats.add("writebacks")
+        layout = self.layout
+        chunk = layout.chunk_at_address(victim_address)
+        location = layout.hash_location(chunk)
+        slot, start = self.engine.begin_writeback(now)
+
+        # 1. read the parent MAC entry with ReadAndCheck (through the L2)
+        entry_ready = start
+        if not location.in_secure_memory:
+            lookup = self.l2.access(location.address, write=False, kind="hash")
+            if lookup.hit:
+                self.stats.add("hash_l2_hits")
+                entry_ready = start + self.config.l2.latency_cycles
+            else:
+                self.stats.add("hash_l2_misses")
+                if depth < MAX_CASCADE_DEPTH:
+                    _, parent_done = self._fetch_and_verify_chunk(
+                        location.parent_chunk, start, needed=None, write=False,
+                        depth=depth + 1,
+                    )
+                    entry_ready = parent_done
+                else:
+                    self.stats.add("cascade_depth_overflows")
+
+        # 2. read the old block value directly from memory — unchecked
+        self.stats.add("unchecked_old_reads")
+        old_ready = self.memory.read(start, self.block_bytes, kind="old")
+
+        # 3. update the MAC: hash the old and the new block terms
+        old_term = self.engine.hash_op(old_ready, self.block_bytes)
+        new_term = self.engine.hash_op(start, self.block_bytes)
+        mac_done = max(old_term, new_term, entry_ready)
+        self.stats.add("mac_updates")
+
+        # 4. write the block; dirty the entry in the L2 (visible together)
+        self.memory.write(start, self.block_bytes, kind="writeback")
+        if not location.in_secure_memory:
+            self.l2.access(location.address, write=True, kind="hash")
+        self.engine.finish_writeback(slot, mac_done)

@@ -1,0 +1,163 @@
+"""The mhash scheme: several L2 blocks per hash chunk (Section 5.4).
+
+Halves (or quarters) the hash memory overhead without touching the L2
+block size, at the price of chunk-granularity traffic: verifying any one
+block means assembling its whole chunk, and writing back a dirty block
+means re-assembling, re-hashing and writing every dirty chunk-mate.
+Figure 8 shows the resulting bandwidth cost relative to chash and ihash.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .api import MAX_CASCADE_DEPTH, MissOutcome, TimingScheme
+
+
+class MHashScheme(TimingScheme):
+    name = "mhash"
+
+    def __init__(self, config, l2, memory, engine, layout):
+        super().__init__(config, l2, memory, engine, layout)
+        self.blocks_per_chunk = layout.chunk_bytes // config.l2.block_bytes
+
+    # -- miss path -----------------------------------------------------------------
+
+    def handle_data_miss(self, address: int, now: int, write: bool) -> MissOutcome:
+        self.stats.add("data_misses")
+        chunk = self.layout.chunk_at_address(address)
+        data_ready, check_done = self._fetch_and_verify_chunk(
+            chunk, now, needed=self.l2.block_address(address), write=write,
+            depth=0,
+        )
+        return MissOutcome(data_ready=data_ready, check_done=check_done)
+
+    def _fetch_and_verify_chunk(
+        self,
+        chunk: int,
+        now: int,
+        needed: Optional[int],
+        write: bool,
+        depth: int,
+    ) -> Tuple[int, int]:
+        """Assemble, verify and allocate one chunk.
+
+        ``needed`` is the block address whose arrival time the core waits
+        on (None for internal hash-chunk fetches).  Returns
+        ``(data_ready, check_done)``.  A read-buffer slot is held from the
+        first fetch until this chunk's own MAC/hash comparison completes.
+        """
+        layout = self.layout
+        base = layout.chunk_address(chunk)
+        slot, now = self.engine.begin_check(now)
+        data_ready = now
+        assembled = now
+        for index in range(self.blocks_per_chunk):
+            block_address = base + index * self.block_bytes
+            if block_address == needed:
+                self.stats.add("data_block_reads")
+                data_ready, ready = self.memory.read_critical(
+                    now, self.block_bytes, kind="data")
+                self._fill_l2(block_address, now, dirty=write, kind="data",
+                              depth=depth)
+            elif self.l2.probe(block_address) and not self.l2.is_dirty(block_address):
+                # clean in cache: equals memory, no bus traffic
+                self.stats.add("chunk_blocks_from_cache")
+                continue
+            else:
+                # uncached, or dirty (the hash covers the memory image)
+                self.stats.add("chunk_assembly_reads")
+                ready = self.memory.read(now, self.block_bytes, kind="hash")
+                if not self.l2.probe(block_address):
+                    self._fill_l2(block_address, now, dirty=False, kind="data",
+                                  depth=depth)
+            assembled = max(assembled, ready)
+        assembled = max(assembled, data_ready)
+        if needed is None:
+            # internal fetch: the "data" the caller waits on is the chunk
+            data_ready = assembled
+        hashed = self.engine.hash_op(assembled, layout.chunk_bytes)
+        entry_ready, chain_done = self._entry_lookup(chunk, now, depth)
+        own_check = max(hashed, entry_ready)
+        self.engine.finish_check(slot, own_check)
+        return data_ready, max(own_check, chain_done)
+
+    def _entry_lookup(self, chunk: int, now: int, depth: int) -> Tuple[int, int]:
+        """Locate the tree entry; returns (value_ready, chain_done)."""
+        location = self.layout.hash_location(chunk)
+        if location.in_secure_memory:
+            return now, now
+        lookup = self.l2.access(location.address, write=False, kind="hash")
+        if lookup.hit:
+            self.stats.add("hash_l2_hits")
+            ready = now + self.config.l2.latency_cycles
+            return ready, ready
+        self.stats.add("hash_l2_misses")
+        if depth >= MAX_CASCADE_DEPTH:  # pragma: no cover - guard
+            self.stats.add("cascade_depth_overflows")
+            return now, now
+        parent_ready, parent_chain = self._fetch_and_verify_chunk(
+            location.parent_chunk, now, needed=None, write=False, depth=depth + 1
+        )
+        return parent_ready, parent_chain
+
+    # -- write-back path ----------------------------------------------------------------
+
+    def handle_writeback(self, victim_address: int, now: int, depth: int = 0) -> None:
+        """Assemble the chunk, flush all its dirt, re-hash, update the entry."""
+        self.stats.add("writebacks")
+        layout = self.layout
+        chunk = layout.chunk_at_address(victim_address)
+        base = layout.chunk_address(chunk)
+        slot, start = self.engine.begin_writeback(now)
+
+        assembled = start
+        dirty_blocks = 1  # the victim itself
+        for index in range(self.blocks_per_chunk):
+            block_address = base + index * self.block_bytes
+            if block_address == self.l2.block_address(victim_address):
+                continue  # data travelled with the eviction
+            if self.l2.probe(block_address) and not self.l2.is_dirty(block_address):
+                # clean in cache: equals memory, participates for free
+                self.stats.add("chunk_blocks_from_cache")
+                continue
+            if self.l2.is_dirty(block_address):
+                dirty_blocks += 1
+                self.l2.mark_clean(block_address)
+            # uncached or dirty: the memory image must come over the bus
+            self.stats.add("chunk_assembly_reads")
+            assembled = max(assembled,
+                            self.memory.read(start, self.block_bytes,
+                                             kind="hash"))
+        # one hash to check the old image, one to generate the new entry
+        checked = self.engine.hash_op(assembled, layout.chunk_bytes)
+        entry_ready, _ = self._entry_lookup(chunk, start, depth)
+        rehashed = self.engine.hash_op(max(assembled, checked, entry_ready),
+                                       layout.chunk_bytes)
+        for _ in range(dirty_blocks):
+            self.stats.add("dirty_block_writes")
+            self.memory.write(start, self.block_bytes, kind="writeback")
+        self.engine.finish_writeback(slot, rehashed)
+        self._update_entry(chunk, now, depth)
+
+    def _update_entry(self, chunk: int, now: int, depth: int) -> None:
+        """Write the new entry into the parent through the L2 (Write op)."""
+        location = self.layout.hash_location(chunk)
+        if location.in_secure_memory:
+            return
+        lookup = self.l2.access(location.address, write=True, kind="hash")
+        if lookup.hit:
+            self.stats.add("hash_l2_hits")
+            return
+        self.stats.add("hash_l2_misses")
+        if depth >= MAX_CASCADE_DEPTH:
+            self.stats.add("cascade_depth_overflows")
+            return
+        slot, start = self.engine.begin_check(now)
+        _, parent_done = self._fetch_and_verify_chunk(
+            location.parent_chunk, start, needed=None, write=False,
+            depth=depth + 1,
+        )
+        self.engine.finish_check(slot, parent_done)
+        # dirty the entry's block now that the parent chunk is resident
+        self.l2.access(location.address, write=True, kind="hash")

@@ -1,0 +1,13 @@
+"""Full-system simulation: systems, results, and experiment sweeps."""
+
+from .results import SimResult
+from .sweep import baseline_of, run_grid
+from .system import SimulatedSystem, run_benchmark
+
+__all__ = [
+    "SimResult",
+    "baseline_of",
+    "run_grid",
+    "SimulatedSystem",
+    "run_benchmark",
+]

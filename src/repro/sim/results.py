@@ -1,0 +1,97 @@
+"""Simulation result records and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..common.config import SystemConfig
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run produced."""
+
+    benchmark: str
+    scheme: str
+    config: SystemConfig
+    instructions: int
+    cycles: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    # -- the derived metrics the paper's figures plot -------------------------------
+
+    @property
+    def l2_data_miss_rate(self) -> float:
+        """L2 miss rate of *program data* accesses (Figure 4)."""
+        accesses = self.stats.get("l2.data_accesses", 0)
+        if not accesses:
+            return 0.0
+        return self.stats.get("l2.data_misses", 0) / accesses
+
+    @property
+    def l2_data_misses(self) -> float:
+        return self.stats.get("l2.data_misses", 0) + self.stats.get(
+            "l2.instr_misses", 0
+        )
+
+    @property
+    def memory_reads(self) -> float:
+        return self.stats.get("memory.reads", 0)
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.stats.get("memory.bytes_total", 0)
+
+    @property
+    def hash_memory_read_bytes(self) -> float:
+        return self.stats.get("memory.read_bytes_hash", 0) + self.stats.get(
+            "memory.read_bytes_old", 0
+        )
+
+    @property
+    def extra_reads_per_miss(self) -> float:
+        """Additional memory loads per L2 miss caused by the tree (Fig 5a)."""
+        misses = self.l2_data_misses
+        if not misses:
+            return 0.0
+        data_reads = (self.stats.get("memory.read_bytes_data", 0)
+                      / self.config.l2.block_bytes)
+        total_reads = self.memory_reads
+        return max(0.0, (total_reads - data_reads) / misses)
+
+    @property
+    def bus_utilization(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return min(1.0, self.stats.get("memory.bus_busy_cycles", 0) / self.cycles)
+
+    def normalized_bandwidth(self, baseline: "SimResult") -> float:
+        """Bytes moved relative to a baseline run (Figure 5b)."""
+        if baseline.memory_bytes == 0:
+            return 1.0 if self.memory_bytes == 0 else float("inf")
+        return self.memory_bytes / baseline.memory_bytes
+
+    def slowdown(self, baseline: "SimResult") -> float:
+        """baseline IPC / this IPC (>1 means this run is slower)."""
+        if self.ipc == 0:
+            return float("inf")
+        return baseline.ipc / self.ipc
+
+    def overhead_percent(self, baseline: "SimResult") -> float:
+        """Performance loss vs the baseline, in percent."""
+        if baseline.ipc == 0:
+            return 0.0
+        return (1.0 - self.ipc / baseline.ipc) * 100.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.benchmark:8s} {self.scheme:6s} "
+            f"IPC={self.ipc:5.3f} l2dmiss={self.l2_data_miss_rate:6.2%} "
+            f"extra/miss={self.extra_reads_per_miss:5.2f} "
+            f"bus={self.bus_utilization:5.1%}"
+        )

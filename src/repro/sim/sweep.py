@@ -1,0 +1,56 @@
+"""Experiment sweeps: run grids of (benchmark, scheme, config) cells.
+
+Each figure in the paper is a sweep; these helpers keep the bench harness
+declarative.  Results come back keyed so tables can be assembled without
+re-running anything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from ..common.config import SchemeKind, SystemConfig
+from .results import SimResult
+from .system import run_benchmark
+
+SweepKey = Tuple[str, str, str]  # (benchmark, scheme, variant)
+
+
+def run_grid(
+    base_config: SystemConfig,
+    benchmarks: Iterable[str],
+    schemes: Iterable[SchemeKind],
+    variants: Optional[Dict[str, Callable[[SystemConfig], SystemConfig]]] = None,
+    instructions: int = 30_000,
+    warmup: int = 20_000,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[SweepKey, SimResult]:
+    """Run every (benchmark, scheme, variant) cell of the grid.
+
+    ``variants`` maps a variant label to a config transform (e.g. L2
+    geometry for Figure 3); the identity variant ``""`` is used when
+    omitted.
+    """
+    if variants is None:
+        variants = {"": lambda config: config}
+    results: Dict[SweepKey, SimResult] = {}
+    for variant_name, transform in variants.items():
+        for scheme in schemes:
+            config = transform(base_config).with_scheme(scheme)
+            for benchmark in benchmarks:
+                result = run_benchmark(
+                    config, benchmark,
+                    instructions=instructions, warmup=warmup, seed=seed,
+                )
+                results[(benchmark, scheme.value, variant_name)] = result
+                if progress is not None:
+                    progress(result.summary() + (f" [{variant_name}]" if variant_name else ""))
+    return results
+
+
+def baseline_of(
+    results: Dict[SweepKey, SimResult], benchmark: str, variant: str = ""
+) -> SimResult:
+    """The base-scheme cell for a benchmark/variant."""
+    return results[(benchmark, SchemeKind.BASE.value, variant)]

@@ -1,0 +1,19 @@
+"""Synthetic workload generation and SPEC CPU2000 stand-in models."""
+
+from .generators import WorkloadProfile, generate_instructions, generate_list
+from .spec import BANDWIDTH_BOUND, BENCHMARK_ORDER, SPEC_PROFILES, spec_workload
+from .tracefile import dump_trace, load_trace, parse_trace, save_trace
+
+__all__ = [
+    "WorkloadProfile",
+    "generate_instructions",
+    "generate_list",
+    "BANDWIDTH_BOUND",
+    "BENCHMARK_ORDER",
+    "SPEC_PROFILES",
+    "spec_workload",
+    "dump_trace",
+    "load_trace",
+    "parse_trace",
+    "save_trace",
+]

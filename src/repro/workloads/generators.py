@@ -1,0 +1,209 @@
+"""Synthetic instruction-stream generation.
+
+A :class:`WorkloadProfile` captures the statistics that matter to the
+memory system: footprint, access pattern, operation mix, dependency
+distances (ILP), branch behaviour and streaming-store share.  A profile
+plus a seed deterministically yields an instruction stream for the core
+models.
+
+Patterns:
+
+``stream``
+    Unit-stride sweeps over large arrays (scientific loops: swim, applu).
+    Loads and stores walk separate cursors; stores can be marked
+    ``full_block`` to model streams that overwrite whole cache lines.
+``random``
+    Uniform references over the footprint (mcf's sparse network).
+``wset``
+    Hot/cold working set: most references hit a hot region, the rest fall
+    anywhere in the footprint (integer codes: gcc, twolf, vortex, vpr).
+``mixed``
+    Half stream, half wset (art's neural-net scans with tables).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..cpu.isa import Instruction
+
+BLOCK = 64  # generation granularity: one L2 block
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical model of one benchmark (see repro.workloads.spec)."""
+
+    name: str
+    footprint_bytes: int
+    code_bytes: int = 64 * 1024
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    branch_fraction: float = 0.15
+    fp_fraction: float = 0.0
+    mispredict_rate: float = 0.05
+    #: mean register-dependency distance; small = serial, large = high ILP.
+    mean_dep_distance: float = 4.0
+    #: probability a load's address depends on the previous load (chasing).
+    serial_load_chain: float = 0.0
+    pattern: str = "wset"
+    hot_fraction: float = 0.9
+    hot_bytes: int = 64 * 1024
+    #: fraction of stores that belong to whole-block streaming sweeps.
+    stream_store_fraction: float = 0.0
+    #: mean consecutive 8-byte references per spatial run (wset/random);
+    #: 1 disables spatial locality (true pointer chasing).
+    spatial_run: float = 4.0
+    #: fraction of non-streaming references that hit the stack/locals
+    #: region — a few KB that lives in the L1 (real codes spend most of
+    #: their references there, which is what keeps L1 miss rates low).
+    stack_fraction: float = 0.55
+    stack_bytes: int = 8 * 1024
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ("stream", "random", "wset", "mixed"):
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        total = self.load_fraction + self.store_fraction + self.branch_fraction
+        if total > 0.95:
+            raise ValueError("operation mix leaves no room for ALU work")
+        if self.footprint_bytes < 2 * BLOCK:
+            raise ValueError("footprint too small")
+
+
+class _AddressStream:
+    """Stateful address source implementing the four patterns."""
+
+    WORD = 8  # reference granularity
+
+    def __init__(self, profile: WorkloadProfile, rng: random.Random):
+        self.profile = profile
+        self.rng = rng
+        self.base = profile.code_bytes  # data segment sits above the code
+        self.read_cursor = 0
+        self.write_cursor = profile.footprint_bytes // 2
+        self.run_cursor = 0
+        self.run_remaining = 0
+
+    def _wrap(self, offset: int) -> int:
+        return offset % self.profile.footprint_bytes
+
+    def _fresh_locality_run(self) -> int:
+        """Pick a new spatial run start (stack, hot or cold region)."""
+        profile, rng = self.profile, self.rng
+        roll = rng.random()
+        if roll < profile.stack_fraction:
+            region = min(profile.stack_bytes, profile.footprint_bytes)
+        elif profile.pattern == "random" or rng.random() >= profile.hot_fraction:
+            region = profile.footprint_bytes
+        else:
+            region = min(profile.hot_bytes, profile.footprint_bytes)
+        start = rng.randrange(region // self.WORD) * self.WORD
+        if profile.spatial_run > 1:
+            run = rng.randrange(1, max(2, int(2 * profile.spatial_run)))
+            # runs model accesses within one record/structure: they do not
+            # cross a 64-byte block boundary (integer-code records are
+            # small; sequential sweeps use the stream pattern instead)
+            words_left_in_block = (BLOCK - start % BLOCK) // self.WORD - 1
+            self.run_remaining = min(run, max(0, words_left_in_block))
+        else:
+            self.run_remaining = 0
+        self.run_cursor = start
+        return start
+
+    def _locality_address(self) -> int:
+        """wset/random reference with spatial runs of consecutive words."""
+        if self.run_remaining > 0:
+            self.run_remaining -= 1
+            self.run_cursor = self._wrap(self.run_cursor + self.WORD)
+            return self.run_cursor
+        return self._fresh_locality_run()
+
+    def load_address(self) -> int:
+        profile, rng = self.profile, self.rng
+        pattern = profile.pattern
+        if pattern == "mixed":
+            pattern = "stream" if rng.random() < 0.5 else "wset"
+        if pattern == "stream":
+            self.read_cursor = self._wrap(self.read_cursor + self.WORD)
+            offset = self.read_cursor
+        else:
+            offset = self._locality_address()
+        return self.base + offset
+
+    def store_address(self) -> tuple[int, bool]:
+        """Returns (address, full_block)."""
+        profile, rng = self.profile, self.rng
+        if rng.random() < profile.stream_store_fraction:
+            # unit-stride write sweep: the store opening a new block carries
+            # the full-block mark (the sweep will overwrite all of it)
+            self.write_cursor = self._wrap(self.write_cursor + self.WORD)
+            address = self.base + self.write_cursor
+            return address, address % BLOCK == 0
+        pattern = profile.pattern
+        if pattern == "mixed":
+            pattern = "stream" if rng.random() < 0.5 else "wset"
+        if pattern == "stream":
+            self.write_cursor = self._wrap(self.write_cursor + self.WORD)
+            return self.base + self.write_cursor, False
+        return self.base + self._locality_address(), False
+
+
+def generate_instructions(
+    profile: WorkloadProfile, count: int, seed: int = 0
+) -> Iterator[Instruction]:
+    """Deterministically synthesize ``count`` instructions for ``profile``."""
+    rng = random.Random((_stable_hash(profile.name) ^ seed) & 0xFFFFFFFF)
+    addresses = _AddressStream(profile, rng)
+    pc = 0
+    loads_emitted = 0
+    last_load_index = 0
+
+    def dep() -> int:
+        # geometric distance with the profile's mean; at least 1
+        mean = profile.mean_dep_distance
+        distance = 1 + int(rng.expovariate(1.0 / mean))
+        return distance
+
+    for index in range(count):
+        pc = (pc + 4) % profile.code_bytes
+        roll = rng.random()
+        if roll < profile.load_fraction:
+            if (profile.serial_load_chain and loads_emitted
+                    and rng.random() < profile.serial_load_chain):
+                # pointer chase: the address register comes from the
+                # previous load in program order
+                distance = max(1, index - last_load_index)
+            else:
+                distance = dep()
+            yield Instruction(kind="load", dep1=distance,
+                              address=addresses.load_address(), pc=pc)
+            last_load_index = index
+            loads_emitted += 1
+        elif roll < profile.load_fraction + profile.store_fraction:
+            address, full = addresses.store_address()
+            yield Instruction(kind="store", dep1=dep(), dep2=dep(),
+                              address=address, pc=pc, full_block=full)
+        elif roll < (profile.load_fraction + profile.store_fraction
+                     + profile.branch_fraction):
+            mispredicted = rng.random() < profile.mispredict_rate
+            yield Instruction(kind="branch", dep1=dep(), pc=pc,
+                              mispredicted=mispredicted)
+        elif rng.random() < profile.fp_fraction:
+            yield Instruction(kind="fp", dep1=dep(), dep2=dep(), pc=pc)
+        else:
+            yield Instruction(kind="alu", dep1=dep(), dep2=dep(), pc=pc)
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic across interpreter runs (unlike builtin hash)."""
+    value = 0
+    for char in text:
+        value = (value * 131 + ord(char)) & 0xFFFFFFFF
+    return value
+
+
+def generate_list(profile: WorkloadProfile, count: int, seed: int = 0) -> List[Instruction]:
+    """Materialized convenience wrapper around :func:`generate_instructions`."""
+    return list(generate_instructions(profile, count, seed))

@@ -1,0 +1,78 @@
+"""Instruction-trace files: save and replay workloads reproducibly.
+
+The synthetic generators are deterministic, but a file format makes runs
+portable across library versions and lets users drive the simulator with
+traces from elsewhere (e.g. converted Pin/Valgrind memory traces).
+
+Format: one instruction per line, ``#`` comments and blank lines ignored::
+
+    kind dep1 dep2 address pc flags
+
+``flags`` is a combination of ``m`` (mispredicted branch) and ``f``
+(full-block store), or ``-`` for none.  All numbers are decimal.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from ..cpu.isa import Instruction
+
+_HEADER = "# repro instruction trace v1"
+
+
+def dump_trace(instructions: Iterable[Instruction], stream: TextIO) -> int:
+    """Write instructions to ``stream``; returns the count."""
+    stream.write(_HEADER + "\n")
+    count = 0
+    for instruction in instructions:
+        flags = ""
+        if instruction.mispredicted:
+            flags += "m"
+        if instruction.full_block:
+            flags += "f"
+        stream.write(
+            f"{instruction.kind} {instruction.dep1} {instruction.dep2} "
+            f"{instruction.address} {instruction.pc} {flags or '-'}\n"
+        )
+        count += 1
+    return count
+
+
+def save_trace(instructions: Iterable[Instruction], path: str) -> int:
+    """Write instructions to the file at ``path``; returns the count."""
+    with open(path, "w", encoding="ascii") as stream:
+        return dump_trace(instructions, stream)
+
+
+def parse_trace(stream: Union[TextIO, io.StringIO]) -> Iterator[Instruction]:
+    """Yield instructions from an open trace stream (validates each line)."""
+    for line_number, line in enumerate(stream, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        fields = text.split()
+        if len(fields) != 6:
+            raise ValueError(
+                f"trace line {line_number}: expected 6 fields, got {len(fields)}"
+            )
+        kind, dep1, dep2, address, pc, flags = fields
+        try:
+            yield Instruction(
+                kind=kind,
+                dep1=int(dep1),
+                dep2=int(dep2),
+                address=int(address),
+                pc=int(pc),
+                mispredicted="m" in flags,
+                full_block="f" in flags,
+            )
+        except ValueError as error:
+            raise ValueError(f"trace line {line_number}: {error}") from error
+
+
+def load_trace(path: str) -> List[Instruction]:
+    """Read a whole trace file into a list."""
+    with open(path, "r", encoding="ascii") as stream:
+        return list(parse_trace(stream))

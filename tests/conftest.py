@@ -1,0 +1,85 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hashtree import (
+    CachedHashTree,
+    HashTree,
+    IncrementalMacTree,
+    MultiBlockHashTree,
+    TreeLayout,
+)
+from repro.memory import UntrustedMemory
+
+#: Small protected segment used across tree tests: 64 chunks of 64 bytes.
+SMALL_DATA_BYTES = 64 * 64
+
+
+def make_layout(chunk_bytes: int = 64, data_bytes: int = SMALL_DATA_BYTES) -> TreeLayout:
+    return TreeLayout(data_bytes, chunk_bytes, 16)
+
+
+def make_naive(data_bytes: int = SMALL_DATA_BYTES):
+    layout = make_layout(data_bytes=data_bytes)
+    memory = UntrustedMemory(layout.physical_bytes)
+    tree = HashTree(memory, layout)
+    tree.build()
+    return memory, tree
+
+
+def make_chash(capacity: int = 8, data_bytes: int = SMALL_DATA_BYTES):
+    layout = make_layout(data_bytes=data_bytes)
+    memory = UntrustedMemory(layout.physical_bytes)
+    tree = CachedHashTree(memory, layout, capacity_chunks=capacity)
+    tree.initialize_by_touch()
+    return memory, tree
+
+
+def make_mhash(capacity: int = 16, blocks_per_chunk: int = 2,
+               data_bytes: int = SMALL_DATA_BYTES):
+    layout = make_layout(chunk_bytes=64 * blocks_per_chunk, data_bytes=data_bytes)
+    memory = UntrustedMemory(layout.physical_bytes)
+    tree = MultiBlockHashTree(
+        memory, layout, blocks_per_chunk=blocks_per_chunk, capacity_blocks=capacity
+    )
+    tree.initialize_from_memory()
+    return memory, tree
+
+
+def make_ihash(capacity: int = 16, blocks_per_chunk: int = 2,
+               use_timestamps: bool = True, data_bytes: int = SMALL_DATA_BYTES):
+    layout = make_layout(chunk_bytes=64 * blocks_per_chunk, data_bytes=data_bytes)
+    memory = UntrustedMemory(layout.physical_bytes)
+    tree = IncrementalMacTree(
+        memory,
+        layout,
+        blocks_per_chunk=blocks_per_chunk,
+        capacity_blocks=capacity,
+        use_timestamps=use_timestamps,
+    )
+    tree.initialize_from_memory()
+    return memory, tree
+
+
+ALL_TREE_FACTORIES = {
+    "naive": make_naive,
+    "chash": make_chash,
+    "mhash": make_mhash,
+    "ihash": make_ihash,
+}
+
+
+@pytest.fixture(params=sorted(ALL_TREE_FACTORIES))
+def any_tree(request):
+    """Parametrized fixture yielding (name, memory, tree) for all four schemes."""
+    name = request.param
+    memory, tree = ALL_TREE_FACTORIES[name]()
+    return name, memory, tree
+
+
+def random_bytes(rng: random.Random, n: int) -> bytes:
+    return bytes(rng.randrange(256) for _ in range(n))

@@ -1,0 +1,118 @@
+"""Tests for the analysis tables and the experiment registry."""
+
+from repro.analysis import (
+    EXPERIMENTS,
+    experiment_index_markdown,
+    format_table,
+    ipc_table,
+    metric_table,
+    relative_ipc_table,
+)
+from repro.common import SchemeKind, table1_config
+from repro.sim.results import SimResult
+
+
+def fake_result(benchmark, scheme, ipc):
+    cycles = 1000
+    return SimResult(
+        benchmark=benchmark,
+        scheme=scheme,
+        config=table1_config(SchemeKind(scheme) if scheme != "base"
+                             else SchemeKind.BASE),
+        instructions=int(ipc * cycles),
+        cycles=cycles,
+        stats={"l2.data_accesses": 100, "l2.data_misses": 10,
+               "memory.reads": 20, "memory.bytes_total": 1280,
+               "memory.read_bytes_data": 640},
+    )
+
+
+def fake_grid(benchmarks=("gzip", "mcf")):
+    grid = {}
+    for bench in benchmarks:
+        grid[(bench, "base", "")] = fake_result(bench, "base", 2.0)
+        grid[(bench, "chash", "")] = fake_result(bench, "chash", 1.8)
+    return grid
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self):
+        text = format_table("T", ["a", "b"], [("row1", [1.0, 2.0])])
+        assert "T" in text
+        assert "row1" in text
+        assert "1.000" in text and "2.000" in text
+
+    def test_custom_format(self):
+        text = format_table("T", ["a"], [("r", [0.123456])],
+                            value_format="{:8.1f}")
+        assert "0.1" in text
+
+
+class TestGridTables:
+    def test_ipc_table(self):
+        text = ipc_table(fake_grid(), ["base", "chash"],
+                         benchmarks=["gzip", "mcf"])
+        assert "gzip" in text and "mcf" in text
+        assert "2.000" in text and "1.800" in text
+
+    def test_relative_table_normalizes(self):
+        text = relative_ipc_table(fake_grid(), ["chash"],
+                                  benchmarks=["gzip"])
+        assert "0.900" in text
+
+    def test_metric_table(self):
+        text = metric_table(fake_grid(), ["base"],
+                            metric=lambda r: r.l2_data_miss_rate,
+                            benchmarks=["gzip"])
+        assert "0.100" in text
+
+
+class TestSimResultMetrics:
+    def test_ipc(self):
+        assert fake_result("gzip", "base", 2.0).ipc == 2.0
+
+    def test_miss_rate(self):
+        assert fake_result("gzip", "base", 2.0).l2_data_miss_rate == 0.1
+
+    def test_extra_reads_per_miss(self):
+        result = fake_result("gzip", "chash", 1.0)
+        # 20 reads total, 10 of them data (640/64), 10 misses -> 1 extra
+        assert result.extra_reads_per_miss == 1.0
+
+    def test_slowdown_and_overhead(self):
+        base = fake_result("gzip", "base", 2.0)
+        slow = fake_result("gzip", "chash", 1.0)
+        assert slow.slowdown(base) == 2.0
+        assert slow.overhead_percent(base) == 50.0
+
+    def test_normalized_bandwidth(self):
+        base = fake_result("gzip", "base", 2.0)
+        other = fake_result("gzip", "chash", 1.0)
+        other.stats["memory.bytes_total"] = 2560
+        assert other.normalized_bandwidth(base) == 2.0
+
+    def test_zero_division_guards(self):
+        result = fake_result("gzip", "base", 2.0)
+        result.stats = {}
+        assert result.l2_data_miss_rate == 0.0
+        assert result.extra_reads_per_miss == 0.0
+
+
+class TestExperimentRegistry:
+    def test_every_figure_present(self):
+        for key in ("table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"):
+            assert key in EXPERIMENTS
+
+    def test_bench_targets_exist(self):
+        import os
+        root = os.path.join(os.path.dirname(__file__), "..")
+        for experiment in EXPERIMENTS.values():
+            target = experiment.bench_target
+            if target == "benchmarks/test_ablations.py":
+                continue
+            assert os.path.exists(os.path.join(root, target)), target
+
+    def test_markdown_index(self):
+        text = experiment_index_markdown()
+        assert "Figure 3" in text
+        assert "| Key |" in text

@@ -1,0 +1,92 @@
+"""Tests for the attack scenarios (Sections 4.4 and 5.4.1)."""
+
+import pytest
+
+from repro.attacks import (
+    XomLikeMemory,
+    forge_chosen_value,
+    forge_stale_value,
+    run_loop_attack_on_tree,
+    run_loop_attack_on_xom,
+)
+from repro.common import IntegrityError
+from repro.hashtree import MemoryVerifier
+from repro.memory import ReplayAdversary, UntrustedMemory
+
+
+class TestXomLikeMemory:
+    def test_round_trip(self):
+        xom = XomLikeMemory(UntrustedMemory(8192))
+        xom.write_block(0, b"A" * 64)
+        assert xom.read_block(0) == b"A" * 64
+
+    def test_detects_spoofing(self):
+        memory = UntrustedMemory(8192)
+        xom = XomLikeMemory(memory)
+        xom.write_block(0, b"A" * 64)
+        memory.poke(0, b"B")
+        with pytest.raises(IntegrityError):
+            xom.read_block(0)
+
+    def test_detects_splicing(self):
+        memory = UntrustedMemory(8192)
+        xom = XomLikeMemory(memory)
+        xom.write_block(0, b"A" * 64)
+        xom.write_block(64, b"B" * 64)
+        entry = 64 + 16
+        block_b = memory.peek(entry, entry)
+        memory.poke(0, block_b)  # move (data, mac) to another address
+        with pytest.raises(IntegrityError):
+            xom.read_block(0)
+
+    def test_accepts_replay(self):
+        """The vulnerability: stale (data, mac) pairs verify fine."""
+        memory = UntrustedMemory(8192)
+        xom = XomLikeMemory(memory)
+        xom.write_block(0, b"old" + b"\0" * 61)
+        stale = memory.peek(0, 64 + 16)
+        xom.write_block(0, b"new" + b"\0" * 61)
+        memory.poke(0, stale)
+        assert xom.read_block(0)[:3] == b"old"  # no exception!
+
+
+class TestLoopCounterReplay:
+    def test_xom_leaks_beyond_bound(self):
+        outcome = run_loop_attack_on_xom(secret_words=8, intended_iterations=2)
+        assert outcome.iterations == 8          # ran to the end of the segment
+        assert outcome.leaked_beyond_bound
+        assert len(set(outcome.leaked)) == 8    # distinct secrets leaked
+        assert not outcome.detected
+
+    def test_tree_detects_the_same_attack(self):
+        layout_probe = MemoryVerifier(UntrustedMemory(1 << 20), 64 * 64)
+        counter_physical = layout_probe.physical_address(0)
+        adversary = ReplayAdversary(target_address=counter_physical, length=64)
+        memory = UntrustedMemory(1 << 20, adversary=adversary)
+        verifier = MemoryVerifier(memory, 64 * 64, scheme="chash", cache_chunks=4)
+        verifier.initialize()
+        outcome = run_loop_attack_on_tree(verifier, secret_words=8,
+                                          intended_iterations=2)
+        assert outcome.detected
+        assert outcome.iterations <= 2  # caught before leaking past the bound
+
+
+class TestIncrementalMacForgery:
+    def test_stale_value_forgery_without_timestamps(self):
+        outcome = forge_stale_value(use_timestamps=False)
+        assert outcome.succeeded
+        # the stale counter value (1) is certified as genuine
+        assert outcome.value_read_back[:8] == (1).to_bytes(8, "big")
+
+    def test_timestamps_defeat_stale_value_forgery(self):
+        outcome = forge_stale_value(use_timestamps=True)
+        assert outcome.detected
+
+    def test_chosen_value_forgery_without_timestamps(self):
+        outcome = forge_chosen_value(use_timestamps=False)
+        assert outcome.succeeded
+        assert outcome.value_read_back == b"\xbd" * 64
+
+    def test_timestamps_defeat_chosen_value_forgery(self):
+        outcome = forge_chosen_value(use_timestamps=True)
+        assert outcome.detected

@@ -1,0 +1,156 @@
+"""Tests for the tag-only cache and TLB timing simulators."""
+
+import pytest
+
+from repro.cache import CacheSim, TLBSim
+from repro.common import CacheConfig
+from repro.common.config import TLBConfig
+
+
+def small_cache(size=1024, assoc=2, block=64):
+    return CacheSim(CacheConfig(size, assoc, block, 1, name="t"))
+
+
+class TestCacheSim:
+    def test_miss_then_fill_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0x100).hit
+        cache.fill(0x100)
+        assert cache.access(0x100).hit
+
+    def test_block_granularity(self):
+        cache = small_cache()
+        cache.fill(0x100)
+        assert cache.access(0x13F).hit   # same 64B block
+        assert not cache.access(0x140).hit
+
+    def test_lru_within_set(self):
+        cache = small_cache(size=256, assoc=2, block=64)  # 2 sets
+        # set 0 holds blocks 0x000 and 0x100 (stride = n_sets*block = 128)
+        cache.fill(0x000)
+        cache.fill(0x100)
+        cache.access(0x000)          # make 0x000 MRU
+        result = cache.fill(0x200)   # evicts LRU = 0x100
+        assert result.victim_address == 0x100
+
+    def test_dirty_tracking_through_eviction(self):
+        cache = small_cache(size=256, assoc=2, block=64)
+        cache.fill(0x000, dirty=True)
+        cache.fill(0x100)
+        result = cache.fill(0x200)
+        assert result.victim_address == 0x000
+        assert result.victim_dirty
+
+    def test_write_access_dirties(self):
+        cache = small_cache()
+        cache.fill(0x40)
+        cache.access(0x40, write=True)
+        assert cache.is_dirty(0x40)
+        cache.mark_clean(0x40)
+        assert not cache.is_dirty(0x40)
+
+    def test_probe_has_no_side_effects(self):
+        cache = small_cache(size=256, assoc=2, block=64)
+        cache.fill(0x000)
+        cache.fill(0x100)
+        cache.probe(0x000)           # must NOT promote
+        result = cache.fill(0x200)
+        assert result.victim_address == 0x000
+
+    def test_per_kind_stats(self):
+        cache = small_cache()
+        cache.access(0, kind="data")
+        cache.access(64, kind="hash")
+        cache.access(128, kind="hash")
+        assert cache.stats["data_accesses"] == 1
+        assert cache.stats["hash_accesses"] == 2
+        assert cache.stats["data_misses"] == 1
+        assert cache.miss_rate("hash") == 1.0
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(0x40, dirty=True)
+        assert cache.invalidate(0x40) is True
+        assert not cache.access(0x40).hit
+
+    def test_racing_fill_is_benign(self):
+        cache = small_cache()
+        cache.fill(0x40)
+        result = cache.fill(0x40, dirty=True)
+        assert result.victim_address is None
+        assert cache.is_dirty(0x40)
+
+    def test_occupancy(self):
+        cache = small_cache()
+        for i in range(5):
+            cache.fill(i * 64)
+        assert cache.occupancy() == 5
+
+
+class TestTLBSim:
+    def test_hit_after_miss(self):
+        tlb = TLBSim(TLBConfig())
+        assert tlb.access(0x1000) == TLBConfig().miss_penalty_cycles
+        assert tlb.access(0x1FFF) == 0  # same page
+
+    def test_capacity_eviction(self):
+        config = TLBConfig(entries=4, associativity=2)
+        tlb = TLBSim(config)
+        # fill one set beyond capacity: pages mapping to the same set
+        page = config.page_bytes
+        n_sets = config.entries // config.associativity
+        for i in range(3):
+            tlb.access(i * page * n_sets)
+        # the first page was evicted
+        assert tlb.access(0) == config.miss_penalty_cycles
+
+    def test_miss_rate(self):
+        tlb = TLBSim(TLBConfig())
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.miss_rate == 0.5
+
+
+class TestReplacementPolicies:
+    def _conflict_stream(self, cache, n=12):
+        # twelve blocks mapping to set 0 of a 2-way, 2-set cache
+        stride = cache.config.n_sets * cache.config.block_bytes
+        return [i * stride for i in range(n)]
+
+    def test_fifo_does_not_promote_on_hit(self):
+        from repro.common import CacheConfig
+        cache = CacheSim(CacheConfig(256, 2, 64, 1, name="f"), policy="fifo")
+        cache.fill(0x000)
+        cache.fill(0x100)
+        cache.access(0x000)            # hit; FIFO must NOT promote
+        result = cache.fill(0x200)
+        assert result.victim_address == 0x000  # oldest-in evicted
+
+    def test_random_is_deterministic_per_seed(self):
+        from repro.common import CacheConfig
+        def run(seed):
+            cache = CacheSim(CacheConfig(256, 2, 64, 1, name="r"),
+                             policy="random", seed=seed)
+            victims = []
+            for address in self._conflict_stream(cache):
+                result = cache.fill(address)
+                victims.append(result.victim_address)
+            return victims
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_unknown_policy_rejected(self):
+        from repro.common import CacheConfig
+        with pytest.raises(ValueError):
+            CacheSim(CacheConfig(256, 2, 64, 1, name="x"), policy="plru")
+
+    def test_all_policies_work_under_pressure(self):
+        from repro.common import CacheConfig
+        for policy in ("lru", "fifo", "random"):
+            cache = CacheSim(CacheConfig(1024, 4, 64, 1, name=policy),
+                             policy=policy)
+            for i in range(200):
+                address = (i * 192) % 4096
+                if not cache.access(address).hit:
+                    cache.fill(address)
+            assert cache.occupancy() <= cache.config.n_blocks

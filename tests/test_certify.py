@@ -1,0 +1,149 @@
+"""Tests for the VM and the certified-execution protocol (Section 4.1)."""
+
+import pytest
+
+from repro.certify import (
+    Alice,
+    SecureProcessor,
+    StackMachine,
+    VMError,
+    VMLimits,
+    assemble,
+)
+from repro.crypto import Manufacturer
+from repro.hashtree import MemoryVerifier
+from repro.memory import TamperAdversary, UntrustedMemory
+
+
+def fresh_machine(adversary=None):
+    memory = UntrustedMemory(1 << 20, adversary=adversary)
+    verifier = MemoryVerifier(memory, 64 * 1024, scheme="chash")
+    verifier.initialize()
+    return memory, verifier, StackMachine(verifier)
+
+
+SUM_PROGRAM = [
+    # sum = 0; i = n; while i: sum += i; i -= 1
+    ("PUSH", 0), ("STORE", 0),          # sum
+    ("LOAD", 8),                        # i  (input at data address 8)
+    # loop:
+    ("DUP",), ("LOAD", 0), ("ADD",), ("STORE", 0),   # sum += i
+    ("PUSH", 1), ("SUB",),              # i -= 1
+    ("DUP",), ("JNZ", 19),              # byte offset of the loop start
+    ("POP",),
+    ("LOAD", 0), ("HALT",),
+]
+
+
+class TestAssembler:
+    def test_round_trip_simple(self):
+        code = assemble([("PUSH", 2), ("PUSH", 3), ("ADD",), ("HALT",)])
+        assert code[0] == 0x01 and code[-1] == 0x0C
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(VMError):
+            assemble([("LAUNCH",)])
+
+
+class TestStackMachine:
+    def test_arithmetic(self):
+        _, _, machine = fresh_machine()
+        machine.load_program(assemble(
+            [("PUSH", 6), ("PUSH", 7), ("MUL",), ("HALT",)]))
+        assert machine.run() == 42
+
+    def test_sub_and_stack_ops(self):
+        _, _, machine = fresh_machine()
+        machine.load_program(assemble(
+            [("PUSH", 10), ("PUSH", 4), ("SWAP",), ("SUB",), ("HALT",)]))
+        assert machine.run() == -6  # 4 - 10
+
+    def test_memory_ops(self):
+        _, _, machine = fresh_machine()
+        machine.load_program(assemble(
+            [("PUSH", 99), ("STORE", 16), ("LOAD", 16), ("HALT",)]))
+        assert machine.run() == 99
+
+    def test_loop_program(self):
+        _, _, machine = fresh_machine()
+        machine.load_program(assemble(SUM_PROGRAM))
+        machine.poke_data(8, 10)
+        assert machine.run() == 55
+
+    def test_stack_underflow(self):
+        _, _, machine = fresh_machine()
+        machine.load_program(assemble([("ADD",), ("HALT",)]))
+        with pytest.raises(VMError):
+            machine.run()
+
+    def test_step_limit(self):
+        _, verifier, _ = fresh_machine()
+        machine = StackMachine(verifier, VMLimits(max_steps=100))
+        machine.load_program(assemble([("JMP", 0)]))
+        with pytest.raises(VMError):
+            machine.run()
+
+    def test_data_address_bounds(self):
+        _, _, machine = fresh_machine()
+        with pytest.raises(VMError):
+            machine.poke_data(10**9, 1)
+
+
+class TestCertifiedExecution:
+    def make_parties(self):
+        manufacturer = Manufacturer()
+        secret = manufacturer.mint_processor()
+        return manufacturer, secret
+
+    def test_honest_run_is_accepted(self):
+        manufacturer, secret = self.make_parties()
+        processor = SecureProcessor(secret, UntrustedMemory(1 << 20))
+        alice = Alice(manufacturer, SUM_PROGRAM)
+        result = processor.execute_certified(SUM_PROGRAM, inputs=[(8, 10)])
+        assert result.value == 55
+        assert alice.accepts(result)
+
+    def test_forged_value_is_rejected(self):
+        manufacturer, secret = self.make_parties()
+        processor = SecureProcessor(secret, UntrustedMemory(1 << 20))
+        alice = Alice(manufacturer, SUM_PROGRAM)
+        result = processor.execute_certified(SUM_PROGRAM, inputs=[(8, 10)])
+        result.value = 56  # Bob lies about the result
+        assert not alice.accepts(result)
+
+    def test_signature_bound_to_program(self):
+        manufacturer, secret = self.make_parties()
+        processor = SecureProcessor(secret, UntrustedMemory(1 << 20))
+        other_program = SUM_PROGRAM + [("POP",)]
+        alice = Alice(manufacturer, other_program)
+        result = processor.execute_certified(SUM_PROGRAM, inputs=[(8, 10)])
+        assert not alice.accepts(result)
+
+    def test_simulator_without_secret_cannot_certify(self):
+        manufacturer, _ = self.make_parties()
+        from repro.crypto import ProcessorSecret
+        rogue = SecureProcessor(ProcessorSecret(), UntrustedMemory(1 << 20))
+        alice = Alice(manufacturer, SUM_PROGRAM)
+        result = rogue.execute_certified(SUM_PROGRAM, inputs=[(8, 10)])
+        assert result.value == 55  # computes fine...
+        assert not alice.accepts(result)  # ...but cannot be certified
+
+    def test_tampering_aborts_without_certificate(self):
+        manufacturer, secret = self.make_parties()
+        # corrupt a mid-memory byte after a few reads have gone by
+        probe = MemoryVerifier(UntrustedMemory(1 << 20), 64 * 1024)
+        target = probe.physical_address(8192 + 16)  # inside the VM data region
+        adversary = TamperAdversary(target_address=target, trigger_after=1)
+        processor = SecureProcessor(
+            secret, UntrustedMemory(1 << 20, adversary=adversary),
+            scheme="naive",  # every read goes to memory: the probe will fire
+        )
+        alice = Alice(manufacturer, SUM_PROGRAM)
+        # use a program that reads the targeted address repeatedly
+        program = [("LOAD", 16), ("LOAD", 16), ("LOAD", 16),
+                   ("LOAD", 16), ("HALT",)]
+        alice = Alice(manufacturer, program)
+        result = processor.execute_certified(program)
+        assert result.aborted
+        assert result.signature is None
+        assert not alice.accepts(result)

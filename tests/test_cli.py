@@ -1,0 +1,56 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "tampering detected" in out
+
+    def test_attacks(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "FORGED" in out and "detected" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_bench(self, capsys):
+        assert main(["bench", "gzip", "--instructions", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "IPC" in out
+
+    def test_bench_with_l2_override(self, capsys):
+        assert main(["bench", "gzip", "--l2-kb", "256", "--block", "128",
+                     "--instructions", "1500"]) == 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "gzip", "--instructions", "1500"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("base", "chash", "naive", "mhash", "ihash"):
+            assert scheme in out
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "linpack"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "md5" in out and "adder" in out
+
+    def test_trace(self, capsys, tmp_path):
+        path = str(tmp_path / "t.trace")
+        assert main(["trace", "gzip", path, "-n", "200"]) == 0
+        from repro.workloads import load_trace
+        assert len(load_trace(path)) == 200

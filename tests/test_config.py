@@ -1,0 +1,135 @@
+"""Unit tests for the Table 1 configuration dataclasses."""
+
+import pytest
+
+from repro.common import (
+    CacheConfig,
+    ConfigurationError,
+    HashEngineConfig,
+    SchemeKind,
+    SystemConfig,
+    TreeConfig,
+    table1_config,
+)
+from repro.common.config import BusConfig, TLBConfig
+from repro.common.units import KB, MB
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cache = CacheConfig(1 * MB, 4, 64, 10)
+        assert cache.n_sets == 4096
+        assert cache.n_blocks == 16384
+
+    def test_rejects_non_power_block(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(1 * MB, 4, 48, 10)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(1000, 3, 64, 10)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(1 * MB, 4, 64, -1)
+
+
+class TestBusConfig:
+    def test_paper_bandwidth(self):
+        bus = BusConfig()
+        assert bus.bandwidth_gb_per_s == pytest.approx(1.6, rel=0.01)
+
+    def test_transfer_cycles_for_l2_block(self):
+        bus = BusConfig()  # 200 MHz, 8 B wide, 1 GHz core => 5 core cycles/bus cycle
+        # 64 bytes = 8 bus beats = 40 core cycles.
+        assert bus.transfer_cycles(64) == 40
+
+    def test_transfer_cycles_minimum_one(self):
+        bus = BusConfig()
+        assert bus.transfer_cycles(1) >= 1
+
+
+class TestTLBConfig:
+    def test_defaults(self):
+        tlb = TLBConfig()
+        assert tlb.entries == 128
+        assert tlb.associativity == 4
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ConfigurationError):
+            TLBConfig(entries=10, associativity=4)
+
+
+class TestHashEngineConfig:
+    def test_throughput_occupancy_matches_paper(self):
+        # 3.2 GB/s at 1 GHz: one 64-byte hash per 20 cycles.
+        engine = HashEngineConfig()
+        assert engine.hash_occupancy_cycles(64) == 20
+
+    def test_64gbps_is_one_hash_per_10_cycles(self):
+        engine = HashEngineConfig(throughput_gb_per_s=6.4)
+        assert engine.hash_occupancy_cycles(64) == 10
+
+    def test_hash_bytes(self):
+        assert HashEngineConfig().hash_bytes == 16
+
+    def test_rejects_fractional_hash_bits(self):
+        with pytest.raises(ConfigurationError):
+            HashEngineConfig(hash_bits=100)
+
+
+class TestTreeConfig:
+    def test_arity_for_paper_default(self):
+        tree = TreeConfig(chunk_bytes=64, hash_bytes=16)
+        assert tree.arity == 4
+
+    def test_block_bytes(self):
+        tree = TreeConfig(chunk_bytes=128, blocks_per_chunk=2)
+        assert tree.block_bytes == 64
+
+    def test_rejects_chunk_not_multiple_of_hash(self):
+        with pytest.raises(ConfigurationError):
+            TreeConfig(chunk_bytes=64, hash_bytes=24)
+
+
+class TestSystemConfig:
+    def test_table1_defaults(self):
+        config = table1_config()
+        assert config.core.clock_ghz == 1.0
+        assert config.l1d.size_bytes == 64 * KB
+        assert config.l1d.block_bytes == 32
+        assert config.l2.size_bytes == 1 * MB
+        assert config.l2.associativity == 4
+        assert config.l2.block_bytes == 64
+        assert config.bus.bandwidth_gb_per_s == pytest.approx(1.6, rel=0.01)
+        assert config.hash_engine.latency_cycles == 80
+        assert config.hash_engine.throughput_gb_per_s == 3.2
+        assert config.hash_engine.read_buffer_entries == 16
+        assert config.core.ruu_entries == 128
+        assert config.core.lsq_entries == 64
+
+    def test_tree_geometry_follows_scheme(self):
+        chash = table1_config(SchemeKind.CHASH)
+        assert chash.tree.blocks_per_chunk == 1
+        assert chash.tree.chunk_bytes == 64
+        mhash = table1_config(SchemeKind.MHASH)
+        assert mhash.tree.blocks_per_chunk == 2
+        assert mhash.tree.chunk_bytes == 128
+
+    def test_with_scheme(self):
+        config = table1_config().with_scheme(SchemeKind.NAIVE)
+        assert config.scheme is SchemeKind.NAIVE
+
+    def test_with_l2_sweep(self):
+        config = table1_config().with_l2(size_bytes=4 * MB, block_bytes=128)
+        assert config.l2.size_bytes == 4 * MB
+        assert config.l2.block_bytes == 128
+        assert config.l2.associativity == 4  # preserved
+
+    def test_rejects_l2_block_smaller_than_l1(self):
+        with pytest.raises(ConfigurationError):
+            table1_config().with_l2(block_bytes=16)
+
+    def test_scheme_kind_strings(self):
+        assert str(SchemeKind.CHASH) == "chash"
+        assert SchemeKind("naive") is SchemeKind.NAIVE

@@ -1,0 +1,121 @@
+"""Tests for the out-of-order and in-order core models."""
+
+import pytest
+
+from repro.cache import MemoryHierarchy
+from repro.common import MB, SchemeKind, table1_config
+from repro.cpu import InOrderCore, Instruction, OutOfOrderCore
+
+
+def fresh(scheme=SchemeKind.BASE):
+    config = table1_config(scheme)
+    hierarchy = MemoryHierarchy(config, protected_bytes=64 * MB)
+    return config, hierarchy
+
+
+def warm_core(instructions, scheme=SchemeKind.BASE):
+    """Run twice; measure the second (warm) pass."""
+    config, hierarchy = fresh(scheme)
+    core = OutOfOrderCore(config.core, hierarchy)
+    first = core.run(instructions)
+    return core, core.run(instructions, start_cycle=first.end_cycle)
+
+
+def alu_stream(n, dep=0):
+    return [Instruction(kind="alu", dep1=dep, pc=(i * 4) % 4096) for i in range(n)]
+
+
+class TestOutOfOrderCore:
+    def test_independent_alu_reaches_full_width(self):
+        _, result = warm_core(alu_stream(4000))
+        assert result.ipc == pytest.approx(4.0, rel=0.01)
+
+    def test_serial_chain_is_one_ipc(self):
+        _, result = warm_core(alu_stream(4000, dep=1))
+        assert result.ipc == pytest.approx(1.0, rel=0.01)
+
+    def test_long_latency_serial_chain(self):
+        stream = [Instruction(kind="fp", dep1=1, pc=(i * 4) % 4096)
+                  for i in range(2000)]
+        _, result = warm_core(stream)
+        assert result.ipc == pytest.approx(0.25, rel=0.05)  # 4-cycle fp chain
+
+    def test_mispredictions_cost_cycles(self):
+        clean = [Instruction(kind="branch", pc=(i * 4) % 4096) for i in range(2000)]
+        dirty = [Instruction(kind="branch", pc=(i * 4) % 4096, mispredicted=True)
+                 for i in range(2000)]
+        _, fast = warm_core(clean)
+        _, slow = warm_core(dirty)
+        assert slow.cycles > fast.cycles * 2
+
+    def test_load_misses_overlap(self):
+        """Independent streaming loads pipeline on the bus (MLP)."""
+        stream = [Instruction(kind="load", address=i * 64, pc=(i * 4) % 4096)
+                  for i in range(2000)]
+        config, hierarchy = fresh()
+        core = OutOfOrderCore(config.core, hierarchy)
+        result = core.run(stream)
+        # bus-limited: ~40 cycles per 64B block, NOT ~120 (full latency)
+        cycles_per_load = result.cycles / len(stream)
+        assert cycles_per_load < 60
+
+    def test_serial_loads_expose_full_latency(self):
+        stream = [Instruction(kind="load", dep1=1, address=i * 64,
+                              pc=(i * 4) % 4096)
+                  for i in range(500)]
+        config, hierarchy = fresh()
+        core = OutOfOrderCore(config.core, hierarchy)
+        result = core.run(stream)
+        assert result.cycles / len(stream) > 80  # DRAM latency exposed, serialized
+
+    def test_crypto_barrier_waits_for_checks(self):
+        stream = [Instruction(kind="load", address=i * 64, pc=0)
+                  for i in range(50)]
+        stream.append(Instruction(kind="crypto", pc=0))
+        config, hierarchy = fresh(SchemeKind.CHASH)
+        core = OutOfOrderCore(config.core, hierarchy)
+        result = core.run(stream)
+        assert result.cycles >= result.last_check_done - 1
+        assert core.stats["crypto_barriers"] == 1
+
+    def test_start_cycle_continuation(self):
+        config, hierarchy = fresh()
+        core = OutOfOrderCore(config.core, hierarchy)
+        first = core.run(alu_stream(100))
+        second = core.run(alu_stream(100), start_cycle=first.end_cycle)
+        assert second.end_cycle > first.end_cycle
+        assert second.cycles < first.end_cycle + second.end_cycle  # relative
+
+    def test_empty_stream(self):
+        config, hierarchy = fresh()
+        core = OutOfOrderCore(config.core, hierarchy)
+        result = core.run([])
+        assert result.instructions == 0
+        assert result.ipc == 0.0
+
+
+class TestInOrderCore:
+    def test_never_faster_than_ooo(self):
+        stream = [
+            Instruction(kind="load", address=(i * 64) % (1 << 20), pc=(i * 4) % 4096)
+            if i % 3 == 0 else Instruction(kind="alu", dep1=2, pc=(i * 4) % 4096)
+            for i in range(3000)
+        ]
+        config, hierarchy = fresh()
+        ooo = OutOfOrderCore(config.core, hierarchy).run(stream)
+        config2, hierarchy2 = fresh()
+        ino = InOrderCore(hierarchy2).run(stream)
+        assert ino.cycles >= ooo.cycles
+
+    def test_runs_all_kinds(self):
+        stream = [
+            Instruction(kind="load", address=0, pc=0),
+            Instruction(kind="store", address=64, pc=4),
+            Instruction(kind="branch", pc=8, mispredicted=True),
+            Instruction(kind="crypto", pc=12),
+            Instruction(kind="alu", pc=16),
+        ]
+        _, hierarchy = fresh(SchemeKind.CHASH)
+        result = InOrderCore(hierarchy).run(stream)
+        assert result.instructions == 5
+        assert result.cycles > 0

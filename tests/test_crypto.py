@@ -1,0 +1,230 @@
+"""Unit and property tests for the cryptographic substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    FeistelPermutation,
+    HashFunction,
+    Manufacturer,
+    ProcessorSecret,
+    XorMac,
+    default_hash,
+)
+
+
+class TestHashFunction:
+    def test_default_is_128_bit_md5(self):
+        h = default_hash()
+        assert h.name == "md5"
+        assert h.digest_bytes == 16
+        assert len(h.digest(b"abc")) == 16
+
+    def test_deterministic(self):
+        h = default_hash()
+        assert h.digest(b"data") == h.digest(b"data")
+
+    def test_different_inputs_differ(self):
+        h = default_hash()
+        assert h.digest(b"a") != h.digest(b"b")
+
+    def test_truncation(self):
+        h = HashFunction("sha256", 8)
+        assert len(h.digest(b"abc")) == 8
+
+    def test_digest_many_is_concatenation(self):
+        h = default_hash()
+        assert h.digest_many(b"ab", b"cd") == h.digest(b"abcd")
+
+    def test_all_algorithms_usable(self):
+        for name in ("md5", "sha1", "sha256", "blake2b"):
+            h = HashFunction(name, 16)
+            assert len(h.digest(b"x")) == 16
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            HashFunction("sha3_keccak_nope")
+
+    def test_rejects_oversized_digest(self):
+        with pytest.raises(ValueError):
+            HashFunction("md5", 17)
+
+    @given(st.binary(max_size=256))
+    def test_fixed_output_length(self, data):
+        assert len(default_hash().digest(data)) == 16
+
+
+class TestFeistelPermutation:
+    def test_round_trip(self):
+        prp = FeistelPermutation(b"key")
+        block = bytes(range(16))
+        assert prp.decrypt(prp.encrypt(block)) == block
+
+    def test_round_trip_14_bytes(self):
+        prp = FeistelPermutation(b"key", block_bytes=14)
+        block = bytes(range(14))
+        assert prp.decrypt(prp.encrypt(block)) == block
+
+    def test_different_keys_differ(self):
+        block = bytes(16)
+        assert (
+            FeistelPermutation(b"k1").encrypt(block)
+            != FeistelPermutation(b"k2").encrypt(block)
+        )
+
+    def test_is_permutation_on_sample(self):
+        prp = FeistelPermutation(b"key")
+        seen = set()
+        for i in range(200):
+            seen.add(prp.encrypt(i.to_bytes(16, "big")))
+        assert len(seen) == 200
+
+    def test_rejects_odd_block(self):
+        with pytest.raises(ValueError):
+            FeistelPermutation(b"key", block_bytes=15)
+
+    def test_rejects_wrong_length_input(self):
+        prp = FeistelPermutation(b"key")
+        with pytest.raises(ValueError):
+            prp.encrypt(b"short")
+
+    @given(st.binary(min_size=16, max_size=16))
+    @settings(max_examples=50)
+    def test_round_trip_property(self, block):
+        prp = FeistelPermutation(b"prop-key")
+        assert prp.decrypt(prp.encrypt(block)) == block
+
+
+class TestXorMac:
+    def make(self, **kwargs):
+        return XorMac(b"test-key", **kwargs)
+
+    def test_verify_accepts_genuine(self):
+        mac = self.make()
+        blocks = [b"a" * 64, b"b" * 64]
+        tag = mac.compute(blocks, [0, 0])
+        assert mac.verify(tag, blocks, [0, 0])
+
+    def test_verify_rejects_modified_block(self):
+        mac = self.make()
+        blocks = [b"a" * 64, b"b" * 64]
+        tag = mac.compute(blocks, [0, 0])
+        assert not mac.verify(tag, [b"a" * 64, b"c" * 64], [0, 0])
+
+    def test_verify_rejects_swapped_blocks(self):
+        mac = self.make()
+        blocks = [b"a" * 64, b"b" * 64]
+        tag = mac.compute(blocks, [0, 0])
+        assert not mac.verify(tag, [b"b" * 64, b"a" * 64], [0, 0])
+
+    def test_timestamp_changes_tag(self):
+        mac = self.make()
+        blocks = [b"a" * 64, b"b" * 64]
+        assert mac.compute(blocks, [0, 0]) != mac.compute(blocks, [1, 0])
+
+    def test_timestamps_ignored_when_disabled(self):
+        mac = self.make(use_timestamps=False)
+        blocks = [b"a" * 64, b"b" * 64]
+        assert mac.compute(blocks, [0, 0]) == mac.compute(blocks, [1, 1])
+
+    def test_incremental_update_matches_recompute(self):
+        mac = self.make()
+        blocks = [b"a" * 64, b"b" * 64, b"c" * 64]
+        tag = mac.compute(blocks, [0, 1, 0])
+        updated = mac.update(tag, 1, b"b" * 64, 1, b"Z" * 64, 0)
+        assert updated == mac.compute([b"a" * 64, b"Z" * 64, b"c" * 64], [0, 0, 0])
+
+    def test_incremental_update_with_first_index(self):
+        mac = self.make()
+        blocks = [b"a" * 64, b"b" * 64]
+        tag = mac.compute(blocks, [0, 0], first_index=10)
+        updated = mac.update(tag, 11, b"b" * 64, 0, b"Q" * 64, 1)
+        assert updated == mac.compute([b"a" * 64, b"Q" * 64], [0, 1], first_index=10)
+
+    def test_first_index_binds_position(self):
+        mac = self.make()
+        blocks = [b"a" * 64]
+        assert mac.compute(blocks, [0], first_index=0) != mac.compute(
+            blocks, [0], first_index=1
+        )
+
+    def test_14_byte_variant(self):
+        mac = self.make(mac_bytes=14)
+        tag = mac.compute([b"x" * 64], [0])
+        assert len(tag) == 14
+
+    def test_rejects_bad_timestamp(self):
+        mac = self.make()
+        with pytest.raises(ValueError):
+            mac.compute([b"x"], [2])
+
+    def test_rejects_mismatched_lengths(self):
+        mac = self.make()
+        with pytest.raises(ValueError):
+            mac.compute([b"x", b"y"], [0])
+
+    @given(
+        st.lists(st.binary(min_size=8, max_size=8), min_size=1, max_size=6),
+        st.data(),
+    )
+    @settings(max_examples=50)
+    def test_update_equals_recompute_property(self, blocks, data):
+        mac = self.make()
+        timestamps = [data.draw(st.integers(0, 1)) for _ in blocks]
+        index = data.draw(st.integers(0, len(blocks) - 1))
+        new_block = data.draw(st.binary(min_size=8, max_size=8))
+        new_ts = data.draw(st.integers(0, 1))
+        tag = mac.compute(blocks, timestamps)
+        updated = mac.update(
+            tag, index, blocks[index], timestamps[index], new_block, new_ts
+        )
+        new_blocks = list(blocks)
+        new_blocks[index] = new_block
+        new_timestamps = list(timestamps)
+        new_timestamps[index] = new_ts
+        assert updated == mac.compute(new_blocks, new_timestamps)
+
+
+class TestKeys:
+    def test_signature_round_trip(self):
+        factory = Manufacturer()
+        processor = factory.mint_processor()
+        program = b"print(42)"
+        signature = processor.sign(program, b"result=42")
+        assert factory.verify(program, signature)
+
+    def test_signature_bound_to_program(self):
+        factory = Manufacturer()
+        processor = factory.mint_processor()
+        signature = processor.sign(b"program-a", b"result")
+        assert not factory.verify(b"program-b", signature)
+
+    def test_signature_bound_to_message(self):
+        factory = Manufacturer()
+        processor = factory.mint_processor()
+        signature = processor.sign(b"program", b"result")
+        forged = type(signature)(
+            message=b"other", tag=signature.tag, program_digest=signature.program_digest
+        )
+        assert not factory.verify(b"program", forged)
+
+    def test_unminted_processor_rejected(self):
+        factory = Manufacturer()
+        rogue = ProcessorSecret()
+        signature = rogue.sign(b"program", b"result")
+        assert not factory.verify(b"program", signature)
+
+    def test_program_keys_differ_per_processor(self):
+        a = ProcessorSecret(b"a" * 32)
+        b = ProcessorSecret(b"b" * 32)
+        assert a.derive_program_key(b"p") != b.derive_program_key(b"p")
+
+    def test_program_keys_differ_per_program(self):
+        secret = ProcessorSecret(b"a" * 32)
+        assert secret.derive_program_key(b"p1") != secret.derive_program_key(b"p2")
+
+    def test_deterministic_material(self):
+        a = ProcessorSecret(b"fixed" * 8)
+        b = ProcessorSecret(b"fixed" * 8)
+        assert a.derive_program_key(b"p") == b.derive_program_key(b"p")

@@ -1,0 +1,27 @@
+"""Every quick example script must run to completion and print OK."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/certified_execution.py",
+    "examples/replay_attack.py",
+    "examples/dma_and_unprotected_io.py",
+    "examples/multiprogram_os.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    path = os.path.join(_ROOT, script)
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "BUG" not in out

@@ -1,0 +1,170 @@
+"""Unit and property tests for the flat m-ary tree layout (Section 5.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError
+from repro.hashtree import SECURE_PARENT, TreeLayout
+
+
+class TestBasicGeometry:
+    def test_paper_default_arity_is_four(self):
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        assert layout.arity == 4
+
+    def test_leaves_count(self):
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        assert layout.n_leaves == 64
+        assert layout.total_chunks == layout.n_internal + layout.n_leaves
+
+    def test_leaves_are_contiguous_and_last(self):
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        for chunk in range(layout.total_chunks):
+            assert layout.is_leaf(chunk) == (chunk >= layout.first_leaf)
+
+    def test_chunk_addressing(self):
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        assert layout.chunk_address(3) == 192
+        assert layout.chunk_at_address(192) == 3
+        assert layout.chunk_at_address(200) == 3
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            TreeLayout(data_bytes=100, chunk_bytes=64)  # not a chunk multiple
+        with pytest.raises(ConfigurationError):
+            TreeLayout(data_bytes=64, chunk_bytes=48)  # not a power of two
+        with pytest.raises(ConfigurationError):
+            TreeLayout(data_bytes=64, chunk_bytes=64, hash_bytes=40)
+        with pytest.raises(ConfigurationError):
+            TreeLayout(data_bytes=16, chunk_bytes=16, hash_bytes=16)  # arity 1
+
+
+class TestParentArithmetic:
+    def test_top_chunks_hash_in_secure_memory(self):
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        for chunk in range(layout.arity):
+            assert layout.parent_of(chunk) == SECURE_PARENT
+            assert layout.hash_location(chunk).in_secure_memory
+
+    def test_paper_formula(self):
+        # parent(i) = floor(i / m) - 1; index = i mod m
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        m = layout.arity
+        for chunk in range(m, layout.total_chunks):
+            assert layout.parent_of(chunk) == chunk // m - 1
+            assert layout.index_in_parent(chunk) == chunk % m
+
+    def test_children_inverse_of_parent(self):
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        for parent in range(layout.total_chunks):
+            for child in layout.children_of(parent):
+                assert layout.parent_of(child) == parent
+
+    def test_hash_location_address(self):
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        m = layout.arity
+        chunk = m + 3  # child of chunk 0, index 3
+        location = layout.hash_location(chunk)
+        assert not location.in_secure_memory
+        assert location.parent_chunk == 0
+        assert location.index == 3
+        assert location.address == 3 * 16
+
+    def test_path_to_root_terminates(self):
+        layout = TreeLayout(data_bytes=64 * 256, chunk_bytes=64, hash_bytes=16)
+        path = list(layout.path_to_root(layout.total_chunks - 1))
+        assert path[0] == layout.total_chunks - 1
+        assert layout.parent_of(path[-1]) == SECURE_PARENT
+        # strictly decreasing chunk numbers: parents come earlier in memory
+        assert all(a > b for a, b in zip(path, path[1:]))
+
+    def test_out_of_range_chunk_rejected(self):
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        with pytest.raises(IndexError):
+            layout.parent_of(layout.total_chunks)
+        with pytest.raises(IndexError):
+            layout.parent_of(-1)
+
+
+class TestAddressTranslation:
+    def test_round_trip(self):
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        chunk, offset = layout.leaf_for_address(130)
+        assert offset == 2
+        assert layout.address_for_leaf(chunk) == 128
+
+    def test_rejects_out_of_segment(self):
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        with pytest.raises(IndexError):
+            layout.leaf_for_address(64 * 64)
+
+    def test_address_for_non_leaf_rejected(self):
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        with pytest.raises(ValueError):
+            layout.address_for_leaf(0)
+
+
+class TestOverhead:
+    def test_4ary_overhead_near_one_third(self):
+        # 1/(m-1) for m=4 is 1/3 (the paper's "one quarter of memory is
+        # hashes" counts hashes/total = 1/m).
+        layout = TreeLayout(data_bytes=64 * 4096, chunk_bytes=64, hash_bytes=16)
+        assert layout.memory_overhead == pytest.approx(1 / 3, rel=0.05)
+
+    def test_8ary_overhead_near_one_seventh(self):
+        layout = TreeLayout(data_bytes=128 * 4096, chunk_bytes=128, hash_bytes=16)
+        assert layout.memory_overhead == pytest.approx(1 / 7, rel=0.05)
+
+    def test_depth_is_logarithmic(self):
+        small = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        big = TreeLayout(data_bytes=64 * 64 * 256, chunk_bytes=64, hash_bytes=16)
+        assert big.max_depth() == small.max_depth() + 4  # 256 = 4^4, arity 4
+
+    def test_secure_slots_bounded_by_arity(self):
+        layout = TreeLayout(data_bytes=64 * 64, chunk_bytes=64, hash_bytes=16)
+        assert layout.secure_hash_slots == 4
+
+
+@given(
+    n_leaves=st.integers(min_value=1, max_value=3000),
+    log_arity=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=80)
+def test_layout_properties(n_leaves, log_arity):
+    """Every chunk is either a leaf or stores hashes for its children; every
+    chunk's hash has exactly one home; data capacity is at least requested."""
+    hash_bytes = 16
+    chunk_bytes = hash_bytes << log_arity
+    layout = TreeLayout(n_leaves * chunk_bytes, chunk_bytes, hash_bytes)
+    arity = 1 << log_arity
+    assert layout.arity == arity
+    assert layout.n_leaves >= n_leaves
+
+    homes = {}
+    for chunk in range(layout.total_chunks):
+        location = layout.hash_location(chunk)
+        if location.in_secure_memory:
+            key = ("secure", location.index)
+        else:
+            key = ("chunk", location.parent_chunk, location.index)
+            assert not layout.is_leaf(location.parent_chunk)
+        assert key not in homes, "two chunks share a hash slot"
+        homes[key] = chunk
+
+    # children_of partitions the non-top chunks exactly once
+    covered = set()
+    for chunk in range(layout.total_chunks):
+        for child in layout.children_of(chunk):
+            assert child not in covered
+            covered.add(child)
+    assert covered == set(range(min(arity, layout.total_chunks), layout.total_chunks))
+
+    # depth bounded by ceil(log_m(total_chunks)) + 1
+    max_depth = layout.max_depth()
+    bound = 1
+    reach = arity
+    while reach < layout.total_chunks:
+        reach *= arity
+        bound += 1
+    assert max_depth <= bound

@@ -1,0 +1,186 @@
+"""Unit tests for the untrusted memory and the adversary models."""
+
+import pytest
+
+from repro.common import AdversaryError
+from repro.memory import (
+    PassiveObserver,
+    PredictiveReplayAdversary,
+    ReplayAdversary,
+    ScriptedAdversary,
+    SpliceAdversary,
+    TamperAdversary,
+    UntrustedMemory,
+)
+
+
+class TestUntrustedMemory:
+    def test_read_back_what_was_written(self):
+        memory = UntrustedMemory(1024)
+        memory.write(100, b"hello")
+        assert memory.read(100, 5) == b"hello"
+
+    def test_starts_zeroed(self):
+        memory = UntrustedMemory(64)
+        assert memory.read(0, 64) == bytes(64)
+
+    def test_out_of_range_rejected(self):
+        memory = UntrustedMemory(64)
+        with pytest.raises(IndexError):
+            memory.read(60, 8)
+        with pytest.raises(IndexError):
+            memory.write(-1, b"x")
+
+    def test_peek_poke_bypass_counters(self):
+        memory = UntrustedMemory(64)
+        memory.poke(0, b"abc")
+        assert memory.peek(0, 3) == b"abc"
+        assert memory.reads == 0
+        assert memory.writes == 0
+
+    def test_access_counters(self):
+        memory = UntrustedMemory(64)
+        memory.write(0, b"x")
+        memory.read(0, 1)
+        memory.read(0, 1)
+        assert memory.writes == 1
+        assert memory.reads == 2
+
+    def test_trace_recording(self):
+        memory = UntrustedMemory(64, record_trace=True)
+        memory.write(0, b"ab")
+        memory.read(2, 4)
+        assert memory.trace == [("write", 0, 2), ("read", 2, 4)]
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            UntrustedMemory(0)
+
+
+class TestPassiveObserver:
+    def test_observes_without_modifying(self):
+        observer = PassiveObserver()
+        memory = UntrustedMemory(64, adversary=observer)
+        memory.write(0, b"secret")
+        assert memory.read(0, 6) == b"secret"
+        assert ("write", 0, b"secret") in observer.observed
+        assert not observer.tampered  # observation is not interference
+
+
+class TestTamperAdversary:
+    def test_corrupts_covering_read(self):
+        adversary = TamperAdversary(target_address=5)
+        memory = UntrustedMemory(64, adversary=adversary)
+        memory.write(0, b"AAAAAAAAAA")
+        data = memory.read(0, 10)
+        assert data != b"AAAAAAAAAA"
+        assert data[5] == ord("A") ^ 0xFF
+        assert adversary.tampered
+
+    def test_fires_once(self):
+        adversary = TamperAdversary(target_address=0)
+        memory = UntrustedMemory(64, adversary=adversary)
+        memory.write(0, b"A")
+        first = memory.read(0, 1)
+        second = memory.read(0, 1)
+        assert first != b"A"
+        assert second == b"A"
+
+    def test_trigger_after_skips_reads(self):
+        adversary = TamperAdversary(target_address=0, trigger_after=2)
+        memory = UntrustedMemory(64, adversary=adversary)
+        memory.write(0, b"A")
+        assert memory.read(0, 1) == b"A"
+        assert memory.read(0, 1) == b"A"
+        assert memory.read(0, 1) != b"A"
+
+    def test_non_covering_reads_untouched(self):
+        adversary = TamperAdversary(target_address=50)
+        memory = UntrustedMemory(64, adversary=adversary)
+        memory.write(0, b"A")
+        assert memory.read(0, 1) == b"A"
+        assert not adversary.tampered
+
+    def test_rejects_zero_mask(self):
+        with pytest.raises(AdversaryError):
+            TamperAdversary(0, xor_mask=0)
+
+
+class TestSpliceAdversary:
+    def test_returns_other_addresss_data(self):
+        adversary = SpliceAdversary(target_address=0, source_address=32)
+        memory = UntrustedMemory(64, adversary=adversary)
+        memory.poke(0, b"target--")
+        memory.poke(32, b"source--")
+        assert memory.read(0, 8) == b"source--"
+        assert adversary.tampered
+
+    def test_disarmed_is_transparent(self):
+        adversary = SpliceAdversary(target_address=0, source_address=32)
+        adversary.armed = False
+        memory = UntrustedMemory(64, adversary=adversary)
+        memory.poke(0, b"target--")
+        assert memory.read(0, 8) == b"target--"
+
+
+class TestReplayAdversary:
+    def test_replays_stale_value(self):
+        adversary = ReplayAdversary(target_address=0, length=4)
+        memory = UntrustedMemory(64, adversary=adversary)
+        memory.write(0, b"old!")  # snapshotted
+        memory.write(0, b"new!")
+        adversary.start_replaying()
+        assert memory.read(0, 4) == b"old!"
+        assert memory.peek(0, 4) == b"new!"  # memory itself holds the new value
+
+    def test_snapshot_on_later_write(self):
+        adversary = ReplayAdversary(target_address=0, length=4, snapshot_on_write=1)
+        memory = UntrustedMemory(64, adversary=adversary)
+        memory.write(0, b"gen0")
+        memory.write(0, b"gen1")  # snapshotted
+        memory.write(0, b"gen2")
+        adversary.start_replaying()
+        assert memory.read(0, 4) == b"gen1"
+
+    def test_cannot_replay_before_snapshot(self):
+        adversary = ReplayAdversary(target_address=0, length=4)
+        with pytest.raises(AdversaryError):
+            adversary.start_replaying()
+
+    def test_inactive_until_started(self):
+        adversary = ReplayAdversary(target_address=0, length=4)
+        memory = UntrustedMemory(64, adversary=adversary)
+        memory.write(0, b"old!")
+        memory.write(0, b"new!")
+        assert memory.read(0, 4) == b"new!"
+
+
+class TestPredictiveReplayAdversary:
+    def test_drops_the_write(self):
+        adversary = PredictiveReplayAdversary(target_address=0, length=4)
+        memory = UntrustedMemory(64, adversary=adversary)
+        memory.poke(0, b"old!")  # seed out of band; the first bus write is dropped
+        memory.write(0, b"new!")
+        assert memory.peek(0, 4) == b"old!"
+        assert adversary.dropped_write == b"new!"
+        assert adversary.tampered
+
+    def test_drops_only_once(self):
+        adversary = PredictiveReplayAdversary(target_address=0, length=4)
+        memory = UntrustedMemory(64, adversary=adversary)
+        memory.poke(0, b"old!")
+        memory.write(0, b"new1")
+        memory.write(0, b"new2")
+        assert memory.peek(0, 4) == b"new2"
+
+
+class TestScriptedAdversary:
+    def test_chains_children(self):
+        tamper = TamperAdversary(target_address=0)
+        observer = PassiveObserver()
+        memory = UntrustedMemory(64, adversary=ScriptedAdversary(observer, tamper))
+        memory.write(0, b"A")
+        corrupted = memory.read(0, 1)
+        assert corrupted != b"A"
+        assert len(observer.observed) == 2
+        assert memory.adversary.tampered

@@ -1,0 +1,124 @@
+"""Tests for the from-scratch MD5/SHA-1 and the Section 6.1 area model."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashes import HashFunction
+from repro.crypto.md5 import md5
+from repro.crypto.sha1 import sha1
+from repro.hashengine.area import (
+    DATAPATHS,
+    DEFAULT_GATES_PER_BIT,
+    MD5_DATAPATH,
+    SHA1_DATAPATH,
+    logic_overhead_report,
+)
+
+
+class TestPureMD5:
+    def test_rfc1321_vectors(self):
+        vectors = {
+            b"": "d41d8cd98f00b204e9800998ecf8427e",
+            b"a": "0cc175b9c0f1b6a831c399e269772661",
+            b"abc": "900150983cd24fb0d6963f7d28e17f72",
+            b"message digest": "f96b697d7cb7938d525a2f31aaf161d0",
+            b"abcdefghijklmnopqrstuvwxyz": "c3fcd3d76192e4007dfb496cca67e13b",
+        }
+        for message, expected in vectors.items():
+            assert md5(message).hex() == expected
+
+    def test_padding_boundaries(self):
+        # 55/56/63/64 bytes straddle the padding edge cases
+        for n in (55, 56, 63, 64, 119, 120):
+            message = bytes(range(256))[:n] * 1
+            assert md5(message) == hashlib.md5(message).digest()
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=60)
+    def test_matches_hashlib(self, message):
+        assert md5(message) == hashlib.md5(message).digest()
+
+
+class TestPureSHA1:
+    def test_rfc3174_vectors(self):
+        assert (sha1(b"abc").hex()
+                == "a9993e364706816aba3e25717850c26c9cd0d89d")
+        assert (sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex()
+                == "84983e441c3bd26ebaae4aa1f95129e5e54670f1")
+
+    def test_padding_boundaries(self):
+        for n in (55, 56, 63, 64, 119, 120):
+            message = bytes(range(256))[:n]
+            assert sha1(message) == hashlib.sha1(message).digest()
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=60)
+    def test_matches_hashlib(self, message):
+        assert sha1(message) == hashlib.sha1(message).digest()
+
+
+class TestPureHashesInTree:
+    def test_registry_exposes_pure_variants(self):
+        pure = HashFunction("md5-pure", 16)
+        native = HashFunction("md5", 16)
+        assert pure.digest(b"chunk") == native.digest(b"chunk")
+        pure_sha = HashFunction("sha1-pure", 16)
+        native_sha = HashFunction("sha1", 16)
+        assert pure_sha.digest(b"chunk") == native_sha.digest(b"chunk")
+
+    def test_tree_runs_on_pure_md5(self):
+        from repro.hashtree import CachedHashTree, TreeLayout
+        from repro.memory import UntrustedMemory
+
+        layout = TreeLayout(16 * 64, 64, 16)
+        memory = UntrustedMemory(layout.physical_bytes)
+        tree = CachedHashTree(memory, layout, HashFunction("md5-pure", 16),
+                              capacity_chunks=4)
+        tree.initialize_by_touch()
+        tree.write(0, b"hashed by our own MD5")
+        tree.flush()
+        assert tree.read(0, 21) == b"hashed by our own MD5"
+
+
+class TestAreaModel:
+    def test_md5_block_inventory_matches_paper(self):
+        # Section 6.1's totals for the 64 rounds
+        assert MD5_DATAPATH.blocks == {
+            "adder": 256, "mux": 32, "xor": 48, "or": 16, "inverter": 16,
+        }
+
+    def test_md5_unrolled_on_the_order_of_250k_gates(self):
+        gates = MD5_DATAPATH.gate_count()
+        assert 200_000 <= gates <= 300_000  # "on the order of 250,000"
+
+    def test_sha1_larger_than_md5(self):
+        assert SHA1_DATAPATH.gate_count() > MD5_DATAPATH.gate_count()
+
+    def test_sharing_shrinks_circuit(self):
+        assert (MD5_DATAPATH.shared_gate_count(2.5)
+                < MD5_DATAPATH.gate_count())
+        assert MD5_DATAPATH.shared_gate_count(1.0) == MD5_DATAPATH.gate_count()
+
+    def test_sharing_rejects_growth(self):
+        with pytest.raises(ValueError):
+            MD5_DATAPATH.shared_gate_count(0.5)
+
+    def test_latency_estimate(self):
+        # 2 rounds per cycle: 32 cycles for MD5, 40 for SHA-1
+        assert MD5_DATAPATH.latency_cycles() == 32
+        assert SHA1_DATAPATH.latency_cycles() == 40
+
+    def test_custom_gate_costs(self):
+        cheap = dict(DEFAULT_GATES_PER_BIT, adder=5)
+        assert MD5_DATAPATH.gate_count(cheap) < MD5_DATAPATH.gate_count()
+
+    def test_report_renders(self):
+        report = logic_overhead_report()
+        assert "md5" in report and "sha1" in report
+        assert "adder" in report
+
+    def test_registry(self):
+        assert set(DATAPATHS) == {"md5", "sha1"}

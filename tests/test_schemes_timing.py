@@ -1,0 +1,180 @@
+"""Tests for the five timing schemes and the memory hierarchy."""
+
+import pytest
+
+from repro.cache import MemoryHierarchy
+from repro.common import MB, SchemeKind, table1_config
+
+PROTECTED = 64 * MB  # smaller tree for tests (still depth > 5)
+
+
+def hierarchy_for(scheme, **config_kwargs):
+    config = table1_config(scheme)
+    if config_kwargs:
+        import dataclasses
+        config = dataclasses.replace(config, **config_kwargs)
+    return MemoryHierarchy(config, protected_bytes=PROTECTED)
+
+
+class TestBaseScheme:
+    def test_miss_goes_to_memory_once(self):
+        h = hierarchy_for(SchemeKind.BASE)
+        ready, check = h.load(0x10000, 0)
+        assert h.memory.stats["reads"] == 1
+        assert check == ready  # no verification
+
+    def test_second_access_hits(self):
+        h = hierarchy_for(SchemeKind.BASE)
+        h.load(0x10000, 0)
+        reads_before = h.memory.stats["reads"]
+        ready, _ = h.load(0x10000, 1000)
+        assert h.memory.stats["reads"] == reads_before
+        assert ready <= 1000 + 2  # L1 hit latency
+
+    def test_dirty_eviction_writes_back(self):
+        h = hierarchy_for(SchemeKind.BASE)
+        config = h.config.l2
+        # write one block, then stream enough blocks through its set to evict
+        h.store(0x0, 0)
+        stride = config.n_sets * config.block_bytes
+        for way in range(1, config.associativity * 3):
+            h.load(way * stride, 0)
+        assert h.memory.stats["writes"] >= 1
+
+
+class TestNaiveScheme:
+    def test_miss_walks_full_path(self):
+        h = hierarchy_for(SchemeKind.NAIVE)
+        depth = h.layout.depth(h.layout.total_chunks - 1)
+        h.load(0x40000, 0)
+        # one data read plus ~depth hash chunk reads
+        assert h.memory.stats["reads"] >= depth
+        assert h.scheme.stats["hash_chunk_reads"] >= depth - 1
+
+    def test_hashes_never_enter_l2(self):
+        h = hierarchy_for(SchemeKind.NAIVE)
+        h.load(0x40000, 0)
+        assert h.l2.stats.get("hash_accesses", 0) == 0
+
+    def test_check_done_after_data_ready(self):
+        h = hierarchy_for(SchemeKind.NAIVE)
+        ready, check = h.load(0x40000, 0)
+        assert check > ready
+
+
+class TestCHashScheme:
+    def test_first_miss_walks_then_later_misses_hit_hashes(self):
+        h = hierarchy_for(SchemeKind.CHASH)
+        h.load(0x0, 0)
+        walk_reads = h.scheme.stats["hash_chunk_reads"]
+        assert walk_reads >= 1
+        # a nearby chunk shares (almost) the whole hash path: at most one
+        # new hash chunk comes from memory, the rest hit in the L2
+        h.load(0x40, 0)
+        assert h.scheme.stats["hash_chunk_reads"] <= walk_reads + 1
+        assert h.scheme.stats["hash_l2_hits"] >= 1
+
+    def test_hash_blocks_live_in_l2(self):
+        h = hierarchy_for(SchemeKind.CHASH)
+        h.load(0x0, 0)
+        assert h.l2.stats.get("hash_fills", 0) >= 1
+
+    def test_far_apart_misses_walk_separately(self):
+        h = hierarchy_for(SchemeKind.CHASH)
+        h.load(0x0, 0)
+        first = h.scheme.stats["hash_chunk_reads"]
+        h.load(32 * MB, 0)  # different subtree
+        assert h.scheme.stats["hash_chunk_reads"] > first
+
+    def test_check_done_covers_verification(self):
+        h = hierarchy_for(SchemeKind.CHASH)
+        ready, check = h.load(0x0, 0)
+        assert check >= ready
+
+    def test_writeback_rehashes_and_updates_parent(self):
+        h = hierarchy_for(SchemeKind.CHASH)
+        config = h.config.l2
+        h.store(0x0, 0)
+        stride = config.n_sets * config.block_bytes
+        for way in range(1, config.associativity * 3):
+            h.load(way * stride, 0)
+        assert h.scheme.stats["writebacks"] >= 1
+        assert h.memory.stats.get("write_bytes_writeback", 0) >= 64
+
+
+class TestMHashScheme:
+    def test_miss_fetches_whole_chunk(self):
+        h = hierarchy_for(SchemeKind.MHASH)
+        h.load(0x0, 0)
+        # the chunk's second block came over the bus too
+        assert h.scheme.stats["chunk_assembly_reads"] >= 1
+
+    def test_chunk_mate_is_l2_hit(self):
+        h = hierarchy_for(SchemeKind.MHASH)
+        h.load(0x0, 0)
+        misses_before = h.l2.stats["data_misses"]
+        h.load(0x40, 0)  # the chunk mate was allocated during the first miss
+        assert h.l2.stats["data_misses"] == misses_before
+
+
+class TestIHashScheme:
+    def test_writeback_reads_old_value_once(self):
+        h = hierarchy_for(SchemeKind.IHASH)
+        config = h.config.l2
+        h.store(0x0, 0)
+        stride = config.n_sets * config.block_bytes
+        for way in range(1, config.associativity * 3):
+            h.load(way * stride, 0)
+        assert h.scheme.stats["writebacks"] >= 1
+        assert h.scheme.stats["unchecked_old_reads"] == h.scheme.stats["writebacks"]
+        assert h.scheme.stats["mac_updates"] >= 1
+
+    def test_ihash_writeback_cheaper_than_mhash(self):
+        """ihash's whole point: write-backs don't assemble the chunk."""
+        traffic = {}
+        for scheme in (SchemeKind.MHASH, SchemeKind.IHASH):
+            h = hierarchy_for(scheme)
+            config = h.config.l2
+            stride = config.n_sets * config.block_bytes
+            # dirty many blocks, then force their eviction
+            for i in range(config.associativity + 4):
+                h.store(i * stride, 0)
+            for i in range(config.associativity + 4):
+                h.load(i * stride + 16 * MB, 0)
+            traffic[scheme] = h.memory.stats["bytes_total"]
+        assert traffic[SchemeKind.IHASH] <= traffic[SchemeKind.MHASH]
+
+
+class TestHierarchy:
+    def test_l1_filters_l2(self):
+        h = hierarchy_for(SchemeKind.BASE)
+        h.load(0x2000, 0)
+        accesses = h.l2.stats["data_accesses"]
+        h.load(0x2008, 10)  # same L1 block
+        assert h.l2.stats["data_accesses"] == accesses
+
+    def test_full_block_store_skips_fetch(self):
+        h = hierarchy_for(SchemeKind.CHASH)
+        h.store(0x3000, 0, full_block=True)
+        assert h.memory.stats.get("reads", 0) == 0
+        assert h.stats["full_block_store_allocations"] == 1
+
+    def test_full_block_optimization_can_be_disabled(self):
+        h = hierarchy_for(SchemeKind.CHASH, write_allocate_valid_bits=False)
+        h.store(0x3000, 0, full_block=True)
+        assert h.memory.stats["reads"] >= 1
+
+    def test_ifetch_uses_l1i(self):
+        h = hierarchy_for(SchemeKind.BASE)
+        h.ifetch(0x0, 0)
+        ready, _ = h.ifetch(0x4, 10)
+        assert ready <= 10 + h.config.l1i.latency_cycles
+        assert h.l1i.stats["data_hits"] >= 1
+
+    def test_warm_touches_cache_state_without_traffic_stats(self):
+        from repro.cpu import Instruction
+        h = hierarchy_for(SchemeKind.CHASH)
+        h.warm([Instruction(kind="load", address=0x5000, pc=0)])
+        assert h.memory.stats.get("reads", 0) == 0  # timing off
+        ready, _ = h.load(0x5000, 0)
+        assert ready <= 2  # warmed: L1 hit

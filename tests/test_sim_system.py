@@ -1,0 +1,135 @@
+"""End-to-end tests of the full-system simulator and sweeps.
+
+These use reduced warm-ups and instruction counts — enough to assert
+structural invariants (orderings, accounting identities), not to reproduce
+the paper's numbers (the bench harness does that).
+"""
+
+import pytest
+
+from repro.common import KB, MB, SchemeKind, table1_config
+from repro.sim import SimulatedSystem, run_benchmark, run_grid
+from repro.sim.sweep import baseline_of
+from repro.workloads import spec_workload
+
+FAST = dict(instructions=4000, warmup=30_000)
+
+
+@pytest.fixture(scope="module")
+def gzip_three_schemes():
+    return {
+        scheme: run_benchmark(table1_config(scheme), "gzip", **FAST)
+        for scheme in (SchemeKind.BASE, SchemeKind.CHASH, SchemeKind.NAIVE)
+    }
+
+
+class TestRunBenchmark:
+    def test_deterministic(self):
+        a = run_benchmark(table1_config(SchemeKind.CHASH), "gzip", **FAST)
+        b = run_benchmark(table1_config(SchemeKind.CHASH), "gzip", **FAST)
+        assert a.ipc == b.ipc
+        assert a.stats == b.stats
+
+    def test_scheme_ordering(self, gzip_three_schemes):
+        """base >= chash >= naive in IPC, always."""
+        base = gzip_three_schemes[SchemeKind.BASE]
+        chash = gzip_three_schemes[SchemeKind.CHASH]
+        naive = gzip_three_schemes[SchemeKind.NAIVE]
+        assert base.ipc >= chash.ipc >= naive.ipc
+
+    def test_base_moves_no_hash_bytes(self, gzip_three_schemes):
+        base = gzip_three_schemes[SchemeKind.BASE]
+        assert base.hash_memory_read_bytes == 0
+        assert base.extra_reads_per_miss == 0.0
+
+    def test_verification_moves_hash_bytes(self, gzip_three_schemes):
+        for scheme in (SchemeKind.CHASH, SchemeKind.NAIVE):
+            assert gzip_three_schemes[scheme].hash_memory_read_bytes > 0
+
+    def test_naive_extra_reads_near_tree_depth(self, gzip_three_schemes):
+        naive = gzip_three_schemes[SchemeKind.NAIVE]
+        assert 8 <= naive.extra_reads_per_miss <= 16  # ~12-13 in the paper
+
+    def test_chash_extra_reads_small(self, gzip_three_schemes):
+        chash = gzip_three_schemes[SchemeKind.CHASH]
+        assert chash.extra_reads_per_miss < 3
+
+    def test_normalized_bandwidth(self, gzip_three_schemes):
+        base = gzip_three_schemes[SchemeKind.BASE]
+        naive = gzip_three_schemes[SchemeKind.NAIVE]
+        chash = gzip_three_schemes[SchemeKind.CHASH]
+        assert naive.normalized_bandwidth(base) > chash.normalized_bandwidth(base) >= 1.0
+
+    def test_result_metadata(self, gzip_three_schemes):
+        result = gzip_three_schemes[SchemeKind.CHASH]
+        assert result.benchmark == "gzip"
+        assert result.scheme == "chash"
+        assert result.instructions == FAST["instructions"]
+        assert result.cycles > 0
+        assert "l2.data_accesses" in result.stats
+
+    def test_summary_is_printable(self, gzip_three_schemes):
+        text = gzip_three_schemes[SchemeKind.CHASH].summary()
+        assert "gzip" in text and "IPC" in text
+
+    def test_byte_accounting_identity(self, gzip_three_schemes):
+        """bytes_total must equal the sum of the per-kind byte counters."""
+        for result in gzip_three_schemes.values():
+            per_kind = sum(
+                value for key, value in result.stats.items()
+                if key.startswith("memory.read_bytes_")
+                or key.startswith("memory.write_bytes_")
+            )
+            assert per_kind == result.stats.get("memory.bytes_total", 0)
+
+    def test_bus_cycles_consistent_with_bytes(self, gzip_three_schemes):
+        """Bus busy cycles = bytes / bus width * core-cycles-per-bus-cycle."""
+        for result in gzip_three_schemes.values():
+            bytes_total = result.stats.get("memory.bytes_total", 0)
+            busy = result.stats.get("memory.bus_busy_cycles", 0)
+            expected = bytes_total / 8 * 5  # 8B beats, 5 core cycles each
+            assert busy == pytest.approx(expected, rel=0.01)
+
+
+class TestSimulatedSystem:
+    def test_custom_stream(self):
+        system = SimulatedSystem(table1_config(SchemeKind.CHASH),
+                                 protected_bytes=64 * MB)
+        result = system.run(spec_workload("gzip", 2000), benchmark="adhoc")
+        assert result.benchmark == "adhoc"
+        assert result.instructions == 2000
+
+    def test_mhash_and_ihash_run(self):
+        for scheme in (SchemeKind.MHASH, SchemeKind.IHASH):
+            result = run_benchmark(table1_config(scheme), "gzip", **FAST)
+            assert result.ipc > 0
+
+
+class TestSweep:
+    def test_grid_runs_all_cells(self):
+        grid = run_grid(
+            table1_config(),
+            benchmarks=["gzip", "twolf"],
+            schemes=[SchemeKind.BASE, SchemeKind.CHASH],
+            variants={"small": lambda c: c.with_l2(size_bytes=256 * KB)},
+            instructions=2000,
+            warmup=10_000,
+        )
+        assert len(grid) == 4
+        assert baseline_of(grid, "gzip", "small").scheme == "base"
+        for (bench, scheme, variant), result in grid.items():
+            assert result.benchmark == bench
+            assert result.scheme == scheme
+            assert result.config.l2.size_bytes == 256 * KB
+
+    def test_progress_callback(self):
+        lines = []
+        run_grid(
+            table1_config(),
+            benchmarks=["gzip"],
+            schemes=[SchemeKind.BASE],
+            instructions=1000,
+            warmup=5000,
+            progress=lines.append,
+        )
+        assert len(lines) == 1

@@ -1,0 +1,73 @@
+"""Unit tests for repro.common.stats."""
+
+from repro.common.stats import StatGroup, merge_groups
+
+
+class TestStatGroup:
+    def test_add_creates_and_increments(self):
+        group = StatGroup("g")
+        group.add("hits")
+        group.add("hits", 2)
+        assert group["hits"] == 3
+
+    def test_missing_key_reads_zero(self):
+        group = StatGroup("g")
+        assert group["nothing"] == 0
+        assert group.get("nothing", 7) == 7
+
+    def test_set_overwrites(self):
+        group = StatGroup("g")
+        group.add("x", 10)
+        group.set("x", 2)
+        assert group["x"] == 2
+
+    def test_max_keeps_largest(self):
+        group = StatGroup("g")
+        group.max("peak", 3)
+        group.max("peak", 1)
+        group.max("peak", 9)
+        assert group["peak"] == 9
+
+    def test_ratio(self):
+        group = StatGroup("g")
+        group.add("hits", 3)
+        group.add("accesses", 4)
+        assert group.ratio("hits", "accesses") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        group = StatGroup("g")
+        group.add("hits", 3)
+        assert group.ratio("hits", "accesses") == 0.0
+
+    def test_contains(self):
+        group = StatGroup("g")
+        group.add("x")
+        assert "x" in group
+        assert "y" not in group
+
+    def test_reset(self):
+        group = StatGroup("g")
+        group.add("x", 5)
+        group.reset()
+        assert group["x"] == 0
+
+    def test_as_dict_prefixing(self):
+        group = StatGroup("l2")
+        group.add("misses", 2)
+        assert group.as_dict() == {"l2.misses": 2}
+        assert group.as_dict(prefix=False) == {"misses": 2}
+
+    def test_items_sorted(self):
+        group = StatGroup("g")
+        group.add("b")
+        group.add("a")
+        assert [k for k, _ in group.items()] == ["a", "b"]
+
+
+def test_merge_groups():
+    a = StatGroup("a")
+    a.add("x", 1)
+    b = StatGroup("b")
+    b.add("x", 2)
+    merged = merge_groups(a, b)
+    assert merged == {"a.x": 1, "b.x": 2}

@@ -1,0 +1,68 @@
+"""Tests for the instruction-trace file format."""
+
+import io
+
+import pytest
+
+from repro.cpu import Instruction
+from repro.workloads import spec_workload
+from repro.workloads.tracefile import (
+    dump_trace,
+    load_trace,
+    parse_trace,
+    save_trace,
+)
+
+
+class TestRoundTrip:
+    def test_memory_round_trip(self):
+        original = spec_workload("twolf", 500)
+        buffer = io.StringIO()
+        count = dump_trace(original, buffer)
+        buffer.seek(0)
+        restored = list(parse_trace(buffer))
+        assert count == 500
+        assert restored == original
+
+    def test_file_round_trip(self, tmp_path):
+        original = spec_workload("swim", 300)
+        path = tmp_path / "swim.trace"
+        assert save_trace(original, str(path)) == 300
+        assert load_trace(str(path)) == original
+
+    def test_flags_preserved(self):
+        original = [
+            Instruction(kind="branch", pc=4, mispredicted=True),
+            Instruction(kind="store", address=64, pc=8, full_block=True),
+            Instruction(kind="alu", dep1=3, dep2=7, pc=12),
+        ]
+        buffer = io.StringIO()
+        dump_trace(original, buffer)
+        buffer.seek(0)
+        assert list(parse_trace(buffer)) == original
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n# comment\nalu 0 0 0 4 -\n"
+        assert len(list(parse_trace(io.StringIO(text)))) == 1
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(ValueError, match="expected 6 fields"):
+            list(parse_trace(io.StringIO("alu 0 0 0\n")))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            list(parse_trace(io.StringIO("warp 0 0 0 4 -\n")))
+
+    def test_trace_drives_simulator(self):
+        from repro.common import SchemeKind, table1_config
+        from repro.sim import SimulatedSystem
+
+        buffer = io.StringIO()
+        dump_trace(spec_workload("gzip", 400), buffer)
+        buffer.seek(0)
+        system = SimulatedSystem(table1_config(SchemeKind.CHASH),
+                                 protected_bytes=64 << 20)
+        result = system.run(list(parse_trace(buffer)), benchmark="traced")
+        assert result.instructions == 400

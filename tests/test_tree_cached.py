@@ -1,0 +1,190 @@
+"""Tests for the cached hash tree (the chash algorithm, Section 5.3)."""
+
+import pytest
+
+from repro.common import IntegrityError
+from repro.hashtree import CachedHashTree, ChunkCache, HashTree, TreeLayout
+from repro.memory import UntrustedMemory
+
+from tests.conftest import SMALL_DATA_BYTES, make_chash, make_naive
+
+
+class TestChunkCache:
+    def test_lru_eviction_order(self):
+        cache = ChunkCache(2)
+        cache.put(1, bytearray(b"a"), dirty=False)
+        cache.put(2, bytearray(b"b"), dirty=False)
+        cache.get(1)  # promote 1
+        victim, _, _ = cache.pop_victim()
+        assert victim == 2
+
+    def test_dirty_tracking(self):
+        cache = ChunkCache(2)
+        cache.put(1, bytearray(b"a"), dirty=True)
+        assert cache.is_dirty(1)
+        cache.mark_clean(1)
+        assert not cache.is_dirty(1)
+
+    def test_pop_returns_dirtiness(self):
+        cache = ChunkCache(1)
+        cache.put(1, bytearray(b"a"), dirty=True)
+        _, _, dirty = cache.pop_victim()
+        assert dirty
+
+    def test_mark_dirty_requires_presence(self):
+        cache = ChunkCache(1)
+        with pytest.raises(KeyError):
+            cache.mark_dirty(42)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ChunkCache(0)
+
+
+class TestCachedReadWrite:
+    def test_read_after_write(self):
+        _, tree = make_chash()
+        tree.write(0, b"hello")
+        assert tree.read(0, 5) == b"hello"
+
+    def test_data_survives_flush(self):
+        _, tree = make_chash(capacity=4)
+        tree.write(321, b"persist")
+        tree.flush()
+        assert tree.read(321, 7) == b"persist"
+
+    def test_cached_read_is_hit(self):
+        _, tree = make_chash()
+        tree.read(0, 8)
+        tree.stats.reset()
+        tree.read(0, 8)
+        assert tree.stats["cache_hits"] == 1
+        assert tree.stats["memory_chunk_reads"] == 0
+        assert tree.stats["hash_computations"] == 0
+
+    def test_whole_chunk_write_skips_fetch(self):
+        """The write-allocate valid-bit optimization of Section 5.3."""
+        _, tree = make_chash()
+        tree.stats.reset()
+        tree.write(128, b"Z" * 64)
+        assert tree.stats["whole_chunk_write_allocations"] == 1
+        assert tree.stats["memory_chunk_reads"] == 0
+
+    def test_partial_write_fetches_and_checks(self):
+        _, tree = make_chash()
+        tree.stats.reset()
+        tree.write(128, b"Z" * 8)
+        assert tree.stats["memory_chunk_reads"] >= 1
+
+    def test_differential_against_naive(self):
+        """chash and the naive tree must expose identical memory semantics."""
+        _, cached = make_chash(capacity=3)
+        _, naive = make_naive()
+        operations = [
+            (0, b"alpha"), (64, b"beta"), (4000, b"gamma"), (63, b"x" * 65),
+            (1000, bytes(300)), (0, b"overwrite"),
+        ]
+        for address, data in operations:
+            cached.write(address, data)
+            naive.write(address, data)
+        for address in (0, 63, 64, 1000, 1290, 4000):
+            assert cached.read(address, 64) == naive.read(address, 64)
+
+    def test_flush_produces_naive_verifiable_state(self):
+        """After a flush, an independent uncached verifier accepts memory."""
+        memory, tree = make_chash(capacity=4)
+        for i in range(0, SMALL_DATA_BYTES, 100):
+            tree.write(i, bytes([i % 256] * 10))
+        tree.flush()
+        checker = HashTree(memory, tree.layout)
+        checker.secure_store = list(tree.secure_store)
+        for i in range(0, SMALL_DATA_BYTES, 64):
+            checker.read(i, 64)  # raises on any inconsistency
+
+
+class TestCachedVerification:
+    def test_detects_memory_corruption_on_miss(self):
+        memory, tree = make_chash(capacity=2)
+        tree.write(0, b"secret")
+        tree.flush()
+        # Evict chunk 0's leaf by touching other data.
+        for i in range(1, 10):
+            tree.read(i * 64, 1)
+        memory.poke(tree.layout.chunk_address(tree.layout.first_leaf), b"X")
+        with pytest.raises(IntegrityError):
+            tree.read(0, 1)
+
+    def test_cached_chunk_shields_stale_memory(self):
+        """A cached chunk is trusted: memory corruption behind it is
+        invisible until eviction, at which point the write-back overwrites
+        it — the attack never reaches the program."""
+        memory, tree = make_chash(capacity=1000)
+        tree.write(0, b"secret")
+        memory.poke(tree.layout.chunk_address(tree.layout.first_leaf), b"X")
+        assert tree.read(0, 6) == b"secret"
+
+    def test_uncached_hash_chunk_corruption_detected(self):
+        memory, tree = make_chash(capacity=2)
+        tree.write(0, b"secret")
+        tree.flush()
+        for i in range(20, 40):
+            tree.read(i * 64, 1)  # cycle the tiny cache
+        leaf = tree.layout.first_leaf
+        location = tree.layout.hash_location(leaf)
+        memory.poke(location.address, b"\xee")
+        with pytest.raises(IntegrityError):
+            tree.read(0, 1)
+
+    def test_checking_disabled_mode_skips_checks(self):
+        memory, tree = make_chash(capacity=2)
+        tree.checking_enabled = False
+        memory.poke(tree.layout.chunk_address(tree.layout.first_leaf), b"X")
+        tree.read(0, 1)  # no exception: initialization mode
+        assert tree.stats["hash_checks"] == 0
+
+
+class TestInitialization:
+    def test_touch_initialization_equals_direct_build(self):
+        """Section 5.8's procedure must yield the same tree as bottom-up."""
+        layout = TreeLayout(SMALL_DATA_BYTES, 64, 16)
+        content = bytes(range(256)) * (SMALL_DATA_BYTES // 256)
+
+        memory_a = UntrustedMemory(layout.physical_bytes)
+        memory_a.poke(layout.chunk_address(layout.first_leaf), content)
+        cached = CachedHashTree(memory_a, layout, capacity_chunks=4)
+        cached.initialize_by_touch()
+        cached.flush()
+
+        memory_b = UntrustedMemory(layout.physical_bytes)
+        memory_b.poke(layout.chunk_address(layout.first_leaf), content)
+        naive = HashTree(memory_b, layout)
+        naive.build()
+
+        assert cached.secure_store == naive.secure_store
+        assert memory_a.peek(0, layout.physical_bytes) == memory_b.peek(
+            0, layout.physical_bytes
+        )
+
+    def test_initialize_with_payload(self):
+        layout = TreeLayout(SMALL_DATA_BYTES, 64, 16)
+        memory = UntrustedMemory(layout.physical_bytes)
+        tree = CachedHashTree(memory, layout, capacity_chunks=4)
+        tree.initialize_by_touch(payload=b"\xab" * 64)
+        assert tree.read(0, 4) == b"\xab" * 4
+
+    def test_initialize_rejects_bad_payload(self):
+        layout = TreeLayout(SMALL_DATA_BYTES, 64, 16)
+        memory = UntrustedMemory(layout.physical_bytes)
+        tree = CachedHashTree(memory, layout, capacity_chunks=4)
+        with pytest.raises(ValueError):
+            tree.initialize_by_touch(payload=b"short")
+
+
+class TestTinyCache:
+    @pytest.mark.parametrize("capacity", [1, 2, 3])
+    def test_correct_under_extreme_pressure(self, capacity):
+        _, tree = make_chash(capacity=capacity)
+        for i in range(64):
+            tree.write(i * 64, bytes([i]) * 8)
+        for i in range(64):
+            assert tree.read(i * 64, 8) == bytes([i]) * 8

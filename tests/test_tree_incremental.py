@@ -1,0 +1,145 @@
+"""Tests for the incremental-MAC tree (ihash, Section 5.4.1)."""
+
+import pytest
+
+from repro.common import IntegrityError
+from repro.hashtree import IncrementalMacTree, TreeLayout
+from repro.memory import UntrustedMemory
+
+from tests.conftest import SMALL_DATA_BYTES, make_ihash
+
+
+class TestReadWrite:
+    def test_read_after_write(self):
+        _, tree = make_ihash()
+        tree.write(0, b"hello")
+        assert tree.read(0, 5) == b"hello"
+
+    def test_data_survives_flush(self):
+        _, tree = make_ihash(capacity=8)
+        tree.write(900, b"persist")
+        tree.flush()
+        assert tree.read(900, 7) == b"persist"
+
+    def test_many_write_back_cycles(self):
+        """Timestamps flip on every write-back; many cycles must stay sound."""
+        _, tree = make_ihash(capacity=4)
+        for round_number in range(12):
+            payload = bytes([round_number]) * 8
+            tree.write(0, payload)
+            tree.flush()
+            assert tree.read(0, 8) == payload
+
+
+class TestIncrementalWriteBack:
+    def test_write_back_skips_chunk_assembly(self):
+        """ihash's advantage: write-back does not re-read chunk-mates from
+        memory beyond the one unchecked old-value read."""
+        _, tree = make_ihash(capacity=64)
+        tree.write(0, b"A")
+        tree.stats.reset()
+        block = tree.layout.first_leaf * tree.blocks_per_chunk
+        data = bytes(tree.cache.peek(block))
+        tree.cache.mark_clean(block)
+        tree.write_back(block, data)
+        assert tree.stats["unchecked_old_reads"] == 1
+        assert tree.stats["mac_updates"] == 1
+        # no full-chunk verification was triggered by the write-back itself
+        assert tree.stats.get("memory_block_reads", 0) <= 1
+
+    def test_timestamp_bit_flips_on_write_back(self):
+        _, tree = make_ihash(capacity=4)
+        leaf = tree.layout.first_leaf
+        tree.write(0, b"x")
+        tree.flush()
+        entry = tree._load_entry(leaf)
+        _, bits_after_first = tree._unpack_entry(entry)
+        tree.write(0, b"y")
+        tree.flush()
+        entry = tree._load_entry(leaf)
+        _, bits_after_second = tree._unpack_entry(entry)
+        assert (bits_after_first ^ bits_after_second) & 1 == 1
+
+
+class TestTamperDetection:
+    def test_detects_corruption(self):
+        memory, tree = make_ihash(capacity=4)
+        tree.write(0, b"secret")
+        tree.flush()
+        for i in range(4, 16):
+            tree.read(i * 128, 1)
+        memory.poke(tree.layout.chunk_address(tree.layout.first_leaf), b"\xff")
+        with pytest.raises(IntegrityError):
+            tree.read(0, 1)
+
+    def test_detects_stale_replay_of_block(self):
+        """Replaying an old (block, entry-unchanged) pair is caught because
+        the MAC in the parent was updated at write-back."""
+        memory, tree = make_ihash(capacity=4)
+        tree.write(0, b"version-1")
+        tree.flush()
+        base = tree.layout.chunk_address(tree.layout.first_leaf)
+        stale = memory.peek(base, 64)
+        tree.write(0, b"version-2")
+        tree.flush()
+        memory.poke(base, stale)  # put the old block back
+        for i in range(4, 16):
+            tree.read(i * 128, 1)
+        with pytest.raises(IntegrityError):
+            tree.read(0, 1)
+
+    def test_detects_cross_chunk_splice(self):
+        """Global block indices bind position: copying block+nothing else
+        from another chunk fails, as does copying data between chunks."""
+        memory, tree = make_ihash(capacity=4)
+        tree.write(0, b"A" * 64)
+        tree.write(128, b"B" * 64)
+        tree.flush()
+        a = tree.layout.chunk_address(tree.layout.first_leaf)
+        b = tree.layout.chunk_address(tree.layout.first_leaf + 1)
+        memory.poke(a, memory.peek(b, 64))
+        for i in range(4, 16):
+            tree.read(i * 128, 1)
+        with pytest.raises(IntegrityError):
+            tree.read(0, 1)
+
+
+class TestVulnerableVariant:
+    def test_timestampless_variant_still_works_normally(self):
+        _, tree = make_ihash(use_timestamps=False)
+        tree.write(0, b"normal operation")
+        tree.flush()
+        assert tree.read(0, 16) == b"normal operation"
+
+    def test_timestampless_write_back_keeps_bits_stable(self):
+        _, tree = make_ihash(use_timestamps=False, capacity=4)
+        leaf = tree.layout.first_leaf
+        tree.write(0, b"x")
+        tree.flush()
+        _, bits_a = tree._unpack_entry(tree._load_entry(leaf))
+        tree.write(0, b"y")
+        tree.flush()
+        _, bits_b = tree._unpack_entry(tree._load_entry(leaf))
+        assert bits_a == bits_b == 0
+
+
+class TestConstruction:
+    def test_rejects_too_many_blocks(self):
+        layout = TreeLayout(SMALL_DATA_BYTES, 1024, 16)
+        memory = UntrustedMemory(layout.physical_bytes)
+        with pytest.raises(ValueError):
+            IncrementalMacTree(memory, layout, blocks_per_chunk=16)
+
+    def test_different_keys_are_incompatible(self):
+        layout = TreeLayout(SMALL_DATA_BYTES, 128, 16)
+        memory = UntrustedMemory(layout.physical_bytes)
+        tree = IncrementalMacTree(memory, layout, mac_key=b"key-one",
+                                  capacity_blocks=16)
+        tree.initialize_from_memory()
+        tree.write(0, b"data")
+        tree.flush()
+        other = IncrementalMacTree(memory, layout, mac_key=b"key-two",
+                                   capacity_blocks=16)
+        other.secure_store = list(tree.secure_store)
+        with pytest.raises(IntegrityError):
+            other.read(0, 4)

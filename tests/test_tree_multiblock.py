@@ -1,0 +1,142 @@
+"""Tests for the multiple-cache-blocks-per-chunk tree (mhash, Section 5.4)."""
+
+import pytest
+
+from repro.common import IntegrityError, SimulationError
+from repro.hashtree import MultiBlockHashTree, TreeLayout
+from repro.memory import UntrustedMemory
+
+from tests.conftest import SMALL_DATA_BYTES, make_mhash
+
+
+class TestReadWrite:
+    def test_read_after_write(self):
+        _, tree = make_mhash()
+        tree.write(0, b"hello")
+        assert tree.read(0, 5) == b"hello"
+
+    def test_cross_block_and_chunk_spans(self):
+        _, tree = make_mhash()
+        data = bytes(range(256))
+        tree.write(60, data)
+        assert tree.read(60, 256) == data
+
+    def test_data_survives_flush(self):
+        _, tree = make_mhash(capacity=8)
+        tree.write(500, b"persist")
+        tree.flush()
+        assert tree.read(500, 7) == b"persist"
+
+    def test_four_blocks_per_chunk(self):
+        _, tree = make_mhash(blocks_per_chunk=4, capacity=32)
+        tree.write(0, b"x" * 300)
+        tree.flush()
+        assert tree.read(0, 300) == b"x" * 300
+
+
+class TestBlockGranularity:
+    def test_miss_fetches_whole_chunk(self):
+        """Verifying one block requires reading all its chunk-mates."""
+        _, tree = make_mhash(blocks_per_chunk=2)
+        tree.stats.reset()
+        tree.read(0, 1)
+        assert tree.stats["memory_block_reads"] >= 2
+
+    def test_sibling_block_is_hit_after_miss(self):
+        _, tree = make_mhash(blocks_per_chunk=2, capacity=64)
+        tree.read(0, 1)  # loads blocks 0 and 1 of the first leaf chunk
+        tree.stats.reset()
+        tree.read(64, 1)  # the chunk-mate block
+        assert tree.stats["cache_hits"] == 1
+        assert tree.stats["memory_block_reads"] == 0
+
+    def test_dirty_block_memory_image_used_for_check(self):
+        """The parent hash covers memory; a dirty cached block must be read
+        from memory (stale) during verification, not from the cache."""
+        _, tree = make_mhash(capacity=64)
+        tree.write(0, b"dirty!")  # block 0 of first leaf chunk now dirty
+        # force re-verification of the chunk by evicting... instead, call
+        # read_and_check_chunk directly: it must still pass because it
+        # assembles the memory image.
+        first_leaf = tree.layout.first_leaf
+        image = tree.read_and_check_chunk(first_leaf)
+        assert image[0][:6] != b"dirty!"  # stale memory copy, by design
+
+    def test_write_back_propagates_chunk_mates(self):
+        memory, tree = make_mhash(capacity=64)
+        tree.write(0, b"A")
+        tree.write(64, b"B")  # same chunk, second block
+        tree.flush()
+        first_leaf_address = tree.layout.chunk_address(tree.layout.first_leaf)
+        assert memory.peek(first_leaf_address, 1) == b"A"
+        assert memory.peek(first_leaf_address + 64, 1) == b"B"
+
+
+class TestTamperDetection:
+    def test_detects_corruption_in_either_block(self):
+        for offset in (0, 64):
+            memory, tree = make_mhash(capacity=4)
+            tree.write(0, b"secret")
+            tree.flush()
+            for i in range(4, 16):
+                tree.read(i * 128, 1)  # evict
+            base = tree.layout.chunk_address(tree.layout.first_leaf)
+            memory.poke(base + offset, b"\xff")
+            with pytest.raises(IntegrityError):
+                tree.read(0, 1)
+
+    def test_detects_swap_of_blocks_within_chunk(self):
+        memory, tree = make_mhash(capacity=4)
+        tree.write(0, b"A" * 64)
+        tree.write(64, b"B" * 64)
+        tree.flush()
+        for i in range(4, 16):
+            tree.read(i * 128, 1)
+        base = tree.layout.chunk_address(tree.layout.first_leaf)
+        block_a = memory.peek(base, 64)
+        memory.poke(base, memory.peek(base + 64, 64))
+        memory.poke(base + 64, block_a)
+        with pytest.raises(IntegrityError):
+            tree.read(0, 1)
+
+
+class TestCapacityPressure:
+    @pytest.mark.parametrize("capacity", [4, 6, 8])
+    def test_correct_under_pressure(self, capacity):
+        _, tree = make_mhash(capacity=capacity)
+        for i in range(32):
+            tree.write(i * 128, bytes([i]) * 16)
+        for i in range(32):
+            assert tree.read(i * 128, 16) == bytes([i]) * 16
+
+    def test_pathologically_small_cache_raises_cleanly(self):
+        """When everything is pinned, the tree reports the capacity problem
+        instead of corrupting state."""
+        layout = TreeLayout(SMALL_DATA_BYTES, 128, 16)
+        memory = UntrustedMemory(layout.physical_bytes)
+        tree = MultiBlockHashTree(
+            memory, layout, blocks_per_chunk=2, capacity_blocks=1
+        )
+        tree.initialize_from_memory()
+        with pytest.raises((SimulationError, IntegrityError)):
+            for i in range(32):
+                tree.write(i * 128, b"x")
+            tree.flush()
+
+
+class TestConstruction:
+    def test_rejects_unequal_split(self):
+        layout = TreeLayout(SMALL_DATA_BYTES, 128, 16)
+        memory = UntrustedMemory(layout.physical_bytes)
+        with pytest.raises(ValueError):
+            MultiBlockHashTree(memory, layout, blocks_per_chunk=3)
+
+    def test_single_block_chunk_degenerates_to_chash_semantics(self):
+        layout = TreeLayout(SMALL_DATA_BYTES, 64, 16)
+        memory = UntrustedMemory(layout.physical_bytes)
+        tree = MultiBlockHashTree(memory, layout, blocks_per_chunk=1,
+                                  capacity_blocks=16)
+        tree.initialize_from_memory()
+        tree.write(0, b"one-block chunks")
+        tree.flush()
+        assert tree.read(0, 16) == b"one-block chunks"

@@ -1,0 +1,130 @@
+"""Tests for the functional uncached Merkle tree (the naive checker)."""
+
+import pytest
+
+from repro.common import IntegrityError
+from repro.hashtree import HashTree, TreeLayout
+from repro.memory import TamperAdversary, UntrustedMemory
+
+from tests.conftest import SMALL_DATA_BYTES, make_naive
+
+
+class TestReadWrite:
+    def test_read_after_write(self):
+        _, tree = make_naive()
+        tree.write(100, b"payload")
+        assert tree.read(100, 7) == b"payload"
+
+    def test_cross_chunk_write(self):
+        _, tree = make_naive()
+        data = bytes(range(200))
+        tree.write(60, data)  # spans four 64-byte chunks
+        assert tree.read(60, 200) == data
+
+    def test_initial_memory_reads_as_zero(self):
+        _, tree = make_naive()
+        assert tree.read(0, 64) == bytes(64)
+
+    def test_write_chunk_validates_length(self):
+        _, tree = make_naive()
+        with pytest.raises(ValueError):
+            tree.write_chunk(tree.layout.first_leaf, b"short")
+
+
+class TestTamperDetection:
+    def test_detects_leaf_corruption(self):
+        memory, tree = make_naive()
+        tree.write(0, b"sensitive")
+        leaf_address = tree.layout.chunk_address(tree.layout.first_leaf)
+        memory.poke(leaf_address, b"X")
+        with pytest.raises(IntegrityError):
+            tree.read(0, 1)
+
+    def test_detects_hash_chunk_corruption(self):
+        memory, tree = make_naive()
+        tree.write(0, b"sensitive")
+        # corrupt an internal (hash) chunk on the leaf's path
+        leaf = tree.layout.first_leaf
+        parent = tree.layout.parent_of(leaf)
+        memory.poke(tree.layout.chunk_address(parent), b"\xff")
+        with pytest.raises(IntegrityError):
+            tree.read(0, 1)
+
+    def test_detects_bus_level_tamper(self):
+        layout = TreeLayout(SMALL_DATA_BYTES, 64, 16)
+        target = layout.chunk_address(layout.first_leaf)
+        memory = UntrustedMemory(
+            layout.physical_bytes, adversary=TamperAdversary(target)
+        )
+        tree = HashTree(memory, layout)
+        tree.build()
+        with pytest.raises(IntegrityError):
+            tree.read(0, 8)
+
+    def test_error_carries_address(self):
+        memory, tree = make_naive()
+        address = tree.layout.chunk_address(tree.layout.first_leaf)
+        memory.poke(address, b"X")
+        with pytest.raises(IntegrityError) as excinfo:
+            tree.read(0, 1)
+        assert excinfo.value.address == address
+
+    def test_swapping_two_leaves_detected(self):
+        memory, tree = make_naive()
+        tree.write(0, b"A" * 64)
+        tree.write(64, b"B" * 64)
+        a = tree.layout.chunk_address(tree.layout.first_leaf)
+        b = tree.layout.chunk_address(tree.layout.first_leaf + 1)
+        chunk_a = memory.peek(a, 64)
+        memory.poke(a, memory.peek(b, 64))
+        memory.poke(b, chunk_a)
+        with pytest.raises(IntegrityError):
+            tree.read(0, 64)
+
+
+class TestCosts:
+    def test_read_cost_is_depth_plus_one_chunk_reads(self):
+        _, tree = make_naive()
+        leaf = tree.layout.first_leaf
+        depth = tree.layout.depth(leaf)
+        tree.stats.reset()
+        tree.read_chunk(leaf)
+        assert tree.stats["chunk_reads"] == depth + 1
+
+    def test_write_reads_and_writes_full_path(self):
+        _, tree = make_naive()
+        leaf = tree.layout.total_chunks - 1
+        depth = tree.layout.depth(leaf)
+        tree.stats.reset()
+        tree.write_chunk(leaf, bytes(64))
+        assert tree.stats["chunk_writes"] == depth + 1
+
+
+class TestRebuild:
+    def test_rebuild_after_out_of_band_change(self):
+        memory, tree = make_naive()
+        leaf = tree.layout.first_leaf + 5
+        memory.poke(tree.layout.chunk_address(leaf), b"D" * 64)
+        with pytest.raises(IntegrityError):
+            tree.read_chunk(leaf)
+        tree.rebuild_chunk_from_memory(leaf)
+        assert tree.read_chunk(leaf) == b"D" * 64
+        # other chunks still verify
+        tree.read(0, 64)
+
+    def test_rebuild_preserves_detection_elsewhere(self):
+        memory, tree = make_naive()
+        leaf = tree.layout.first_leaf + 5
+        other = tree.layout.first_leaf + 6
+        memory.poke(tree.layout.chunk_address(leaf), b"D" * 64)
+        memory.poke(tree.layout.chunk_address(other), b"E" * 64)
+        tree.rebuild_chunk_from_memory(leaf)
+        with pytest.raises(IntegrityError):
+            tree.read_chunk(other)
+
+
+def test_memory_too_small_rejected():
+    layout = TreeLayout(SMALL_DATA_BYTES, 64, 16)
+    memory = UntrustedMemory(layout.physical_bytes - 1)
+    with pytest.raises(ValueError):
+        HashTree(memory, layout)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.units import (
+    align_down,
+    align_up,
+    bytes_per_cycle,
+    ceil_div,
+    is_power_of_two,
+    log2_exact,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not is_power_of_two(value)
+
+
+class TestLog2Exact:
+    def test_exact_values(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(2) == 1
+        assert log2_exact(64) == 6
+        assert log2_exact(1 << 30) == 30
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_exact(3)
+        with pytest.raises(ValueError):
+            log2_exact(0)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_round_trip(self, exponent):
+        assert log2_exact(1 << exponent) == exponent
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+        assert ceil_div(1, 4) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**6))
+    def test_matches_float_ceiling(self, n, d):
+        assert ceil_div(n, d) == -(-n // d)
+        assert (ceil_div(n, d) - 1) * d < n or n == 0
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(100, 64) == 64
+        assert align_down(64, 64) == 64
+        assert align_down(63, 64) == 0
+
+    def test_align_up(self):
+        assert align_up(100, 64) == 128
+        assert align_up(64, 64) == 64
+        assert align_up(0, 64) == 0
+
+    def test_rejects_non_power_alignment(self):
+        with pytest.raises(ValueError):
+            align_down(100, 48)
+        with pytest.raises(ValueError):
+            align_up(100, 3)
+
+    @given(st.integers(min_value=0, max_value=2**40),
+           st.integers(min_value=0, max_value=12))
+    def test_sandwich(self, address, exponent):
+        alignment = 1 << exponent
+        down = align_down(address, alignment)
+        up = align_up(address, alignment)
+        assert down <= address <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestBytesPerCycle:
+    def test_paper_defaults(self):
+        # 3.2 GB/s at 1 GHz is 3.2 bytes per cycle.
+        assert bytes_per_cycle(3.2, 1.0) == pytest.approx(3.2)
+
+    def test_faster_clock_means_fewer_bytes_per_cycle(self):
+        assert bytes_per_cycle(3.2, 2.0) == pytest.approx(1.6)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ValueError):
+            bytes_per_cycle(3.2, 0)

@@ -1,0 +1,174 @@
+"""Tests for the MemoryVerifier facade, DMA, and the secure-mode lifecycle."""
+
+import hashlib
+
+import pytest
+
+from repro.common import ConfigurationError, IntegrityError, SecureModeError
+from repro.hashtree import MemoryVerifier
+from repro.memory import DMAController, DMADevice, UntrustedMemory
+
+DATA_BYTES = 64 * 64
+
+
+def make_verifier(scheme="chash", headroom=4096, **kwargs):
+    memory = UntrustedMemory(64 * 128 + headroom)
+    verifier = MemoryVerifier(memory, DATA_BYTES, scheme=scheme,
+                              cache_chunks=kwargs.pop("cache_chunks", 8), **kwargs)
+    verifier.initialize()
+    return memory, verifier
+
+
+class TestLifecycle:
+    def test_reads_require_initialization(self):
+        memory = UntrustedMemory(64 * 128)
+        verifier = MemoryVerifier(memory, DATA_BYTES)
+        with pytest.raises(SecureModeError):
+            verifier.read(0, 4)
+        with pytest.raises(SecureModeError):
+            verifier.write(0, b"x")
+
+    def test_initialize_covers_preexisting_contents(self):
+        memory = UntrustedMemory(64 * 128)
+        probe = MemoryVerifier(memory, DATA_BYTES)  # locate leaf 0 physically
+        physical = probe.physical_address(0)
+        memory.poke(physical, b"pre-existing")
+        verifier = MemoryVerifier(memory, DATA_BYTES)
+        verifier.initialize()
+        assert verifier.read(0, 12) == b"pre-existing"
+
+    @pytest.mark.parametrize("scheme", ["naive", "chash", "mhash", "ihash"])
+    def test_all_schemes_round_trip(self, scheme):
+        _, verifier = make_verifier(scheme=scheme)
+        verifier.write(100, b"scheme test")
+        verifier.flush()
+        assert verifier.read(100, 11) == b"scheme test"
+
+    def test_unknown_scheme_rejected(self):
+        memory = UntrustedMemory(64 * 128)
+        with pytest.raises(ConfigurationError):
+            MemoryVerifier(memory, DATA_BYTES, scheme="quantum")
+
+    def test_memory_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryVerifier(UntrustedMemory(64), DATA_BYTES)
+
+
+class TestProtectionBoundary:
+    def test_is_protected(self):
+        _, verifier = make_verifier()
+        assert verifier.is_protected(0)
+        assert verifier.is_protected(DATA_BYTES - 1)
+        assert not verifier.is_protected(DATA_BYTES)
+
+    def test_normal_read_refuses_window(self):
+        _, verifier = make_verifier()
+        window = verifier.unprotected_window
+        with pytest.raises(SecureModeError):
+            verifier.read(window.start, 4)
+
+    def test_unchecked_read_refuses_protected(self):
+        _, verifier = make_verifier()
+        with pytest.raises(SecureModeError):
+            verifier.read_without_checking(0, 4)
+
+    def test_window_round_trip_unchecked(self):
+        _, verifier = make_verifier()
+        start = verifier.unprotected_window.start
+        verifier.write_without_checking(start, b"staging")
+        assert verifier.read_without_checking(start, 7) == b"staging"
+
+    def test_window_not_covered_by_tree(self):
+        """Tampering with the window is invisible — that's the contract."""
+        memory, verifier = make_verifier()
+        start = verifier.unprotected_window.start
+        verifier.write_without_checking(start, b"staging")
+        memory.poke(verifier.physical_address(start), b"T")
+        assert verifier.read_without_checking(start, 7) == b"Ttaging"
+
+
+class TestDetection:
+    def test_detects_tampering(self):
+        memory, verifier = make_verifier(cache_chunks=2)
+        verifier.write(0, b"secret")
+        verifier.flush()
+        for i in range(1, 20):
+            verifier.read(i * 64, 1)  # evict leaf 0
+        memory.poke(verifier.physical_address(0), b"X")
+        with pytest.raises(IntegrityError):
+            verifier.read(0, 1)
+
+
+class TestDMA:
+    def test_unprotect_then_rebuild(self):
+        memory, verifier = make_verifier()
+        device = DMADevice(memory)
+        controller = DMAController(verifier, device)
+        payload = b"\xaa" * 64
+        controller.transfer_and_rebuild(0, payload)
+        assert verifier.read(0, 64) == payload
+
+    def test_unprotected_chunk_refuses_normal_read(self):
+        _, verifier = make_verifier()
+        verifier.unprotect_range(0, 64)
+        with pytest.raises(SecureModeError):
+            verifier.read(0, 4)
+        verifier.rebuild_range(0, 64)
+        verifier.read(0, 4)
+
+    def test_rebuild_requires_prior_unprotect(self):
+        _, verifier = make_verifier()
+        with pytest.raises(SecureModeError):
+            verifier.rebuild_range(0, 64)
+
+    def test_transfer_and_copy(self):
+        memory, verifier = make_verifier()
+        device = DMADevice(memory)
+        controller = DMAController(verifier, device)
+        payload = b"network packet .."
+        digest = hashlib.sha256(payload).digest()
+        staging = verifier.unprotected_window.start
+        controller.transfer_and_copy(staging, 256, payload, expected_digest=digest)
+        assert verifier.read(256, len(payload)) == payload
+
+    def test_transfer_and_copy_checks_digest(self):
+        memory, verifier = make_verifier()
+
+        class LyingDevice(DMADevice):
+            def transfer(self, address, payload):
+                super().transfer(address, b"X" * len(payload))
+
+        controller = DMAController(verifier, LyingDevice(memory))
+        payload = b"network packet .."
+        digest = hashlib.sha256(payload).digest()
+        staging = verifier.unprotected_window.start
+        with pytest.raises(SecureModeError):
+            controller.transfer_and_copy(staging, 256, payload,
+                                         expected_digest=digest)
+
+    def test_copy_refuses_protected_staging(self):
+        memory, verifier = make_verifier()
+        controller = DMAController(verifier, DMADevice(memory))
+        with pytest.raises(SecureModeError):
+            controller.transfer_and_copy(0, 256, b"payload")
+
+    def test_dma_without_rebuild_is_caught_or_refused(self):
+        """Writing protected memory behind the tree's back must never go
+        unnoticed: either the read refuses (unprotected) or fails the check."""
+        memory, verifier = make_verifier(cache_chunks=2)
+        for i in range(1, 20):
+            verifier.read(i * 64, 1)
+        device = DMADevice(memory)
+        device.transfer(verifier.physical_address(0), b"\xbb" * 64)
+        with pytest.raises(IntegrityError):
+            verifier.read(0, 4)
+
+
+class TestDMATransferRebuildPhysical:
+    def test_manual_unprotect_transfer_rebuild(self):
+        memory, verifier = make_verifier()
+        device = DMADevice(memory)
+        verifier.unprotect_range(128, 64)
+        device.transfer(verifier.physical_address(128), b"\xcd" * 64)
+        verifier.rebuild_range(128, 64)
+        assert verifier.read(128, 64) == b"\xcd" * 64

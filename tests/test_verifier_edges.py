@@ -1,0 +1,111 @@
+"""Edge cases of the MemoryVerifier surface not covered elsewhere."""
+
+import pytest
+
+from repro.common import SecureModeError
+from repro.hashtree import MemoryVerifier
+from repro.memory import UntrustedMemory
+
+DATA = 64 * 64
+
+
+def fresh(scheme="chash", size=1 << 18):
+    memory = UntrustedMemory(size)
+    verifier = MemoryVerifier(memory, DATA, scheme=scheme, cache_chunks=8)
+    verifier.initialize()
+    return memory, verifier
+
+
+class TestBoundaryAccesses:
+    def test_last_byte(self):
+        _, verifier = fresh()
+        verifier.write(DATA - 1, b"\x7f")
+        assert verifier.read(DATA - 1, 1) == b"\x7f"
+
+    def test_read_crossing_end_rejected(self):
+        _, verifier = fresh()
+        with pytest.raises(SecureModeError):
+            verifier.read(DATA - 4, 8)
+
+    def test_zero_length_rejected(self):
+        _, verifier = fresh()
+        with pytest.raises(ValueError):
+            verifier.read(0, 0)
+
+    def test_whole_segment_write(self):
+        _, verifier = fresh()
+        payload = bytes(range(256)) * (DATA // 256)
+        verifier.write(0, payload)
+        assert verifier.read(0, DATA) == payload
+
+
+class TestUnprotectLifecycle:
+    def test_unprotect_is_chunk_granular(self):
+        _, verifier = fresh()
+        verifier.unprotect_range(10, 4)  # inside chunk 0
+        with pytest.raises(SecureModeError):
+            verifier.read(0, 4)          # whole chunk is unprotected
+        verifier.read(64, 4)             # neighbouring chunk unaffected
+
+    def test_double_unprotect_is_idempotent(self):
+        _, verifier = fresh()
+        verifier.unprotect_range(0, 64)
+        verifier.unprotect_range(0, 64)
+        verifier.rebuild_range(0, 64)
+        verifier.read(0, 4)
+
+    def test_partial_rebuild_leaves_rest_unprotected(self):
+        _, verifier = fresh()
+        verifier.unprotect_range(0, 128)  # two chunks
+        verifier.rebuild_range(0, 64)
+        verifier.read(0, 4)
+        with pytest.raises(SecureModeError):
+            verifier.read(64, 4)
+
+    def test_writes_refused_on_unprotected_chunks(self):
+        _, verifier = fresh()
+        verifier.unprotect_range(0, 64)
+        with pytest.raises(SecureModeError):
+            verifier.write(0, b"x")
+
+    def test_write_without_checking_into_unprotected_chunk(self):
+        memory, verifier = fresh()
+        verifier.unprotect_range(0, 64)
+        verifier.write_without_checking(0, b"dma payload")
+        assert verifier.read_without_checking(0, 11) == b"dma payload"
+        verifier.rebuild_range(0, 64)
+        assert verifier.read(0, 11) == b"dma payload"
+
+
+class TestUnprotectedWindow:
+    def test_window_size_matches_headroom(self):
+        memory, verifier = fresh(size=1 << 18)
+        expected = (1 << 18) - verifier.layout.physical_bytes
+        assert len(verifier.unprotected_window) == expected
+
+    def test_no_window_when_memory_exact(self):
+        from repro.hashtree import TreeLayout
+        layout = TreeLayout(DATA, 64, 16)
+        memory = UntrustedMemory(layout.physical_bytes)
+        verifier = MemoryVerifier(memory, DATA)
+        assert len(verifier.unprotected_window) == 0
+
+    def test_window_read_out_of_bounds(self):
+        _, verifier = fresh()
+        window = verifier.unprotected_window
+        with pytest.raises((IndexError, SecureModeError)):
+            verifier.read_without_checking(window.stop, 1)
+
+
+class TestSchemesShareSurface:
+    @pytest.mark.parametrize("scheme", ["naive", "chash", "mhash", "ihash"])
+    def test_unprotect_rebuild_works_everywhere(self, scheme):
+        memory, verifier = fresh(scheme=scheme)
+        chunk = verifier.layout.chunk_bytes
+        verifier.write(0, b"before")
+        verifier.flush()
+        verifier.unprotect_range(0, chunk)
+        physical = verifier.physical_address(0)
+        memory.poke(physical, b"DMA!")
+        verifier.rebuild_range(0, chunk)
+        assert verifier.read(0, 4) == b"DMA!"

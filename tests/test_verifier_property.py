@@ -1,0 +1,65 @@
+"""Property-based tests of the MemoryVerifier facade, DMA included.
+
+An arbitrary interleaving of verified reads/writes, flushes, and correct
+DMA cycles (unprotect -> device write -> rebuild) must behave like a plain
+byte array, for every scheme.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashtree import MemoryVerifier
+from repro.memory import DMADevice, UntrustedMemory
+
+DATA_BYTES = 32 * 64
+CHUNK = 64
+
+operation = st.one_of(
+    st.tuples(st.just("write"), st.integers(0, DATA_BYTES - 1),
+              st.binary(min_size=1, max_size=80)),
+    st.tuples(st.just("read"), st.integers(0, DATA_BYTES - 1),
+              st.integers(1, 80)),
+    st.tuples(st.just("flush"), st.just(0), st.just(0)),
+    st.tuples(st.just("dma"), st.integers(0, DATA_BYTES // CHUNK - 1),
+              st.binary(min_size=CHUNK, max_size=CHUNK)),
+)
+
+
+@pytest.mark.parametrize("scheme", ["naive", "chash", "mhash", "ihash"])
+@given(ops=st.lists(operation, max_size=20))
+@settings(max_examples=8, deadline=None)
+def test_verifier_shadow_equivalence_with_dma(scheme, ops):
+    memory = UntrustedMemory(1 << 17)
+    verifier = MemoryVerifier(memory, DATA_BYTES, scheme=scheme,
+                              cache_chunks=6)
+    verifier.initialize()
+    device = DMADevice(memory)
+    shadow = bytearray(DATA_BYTES)
+
+    for name, a, payload in ops:
+        if name == "write":
+            data = payload[: DATA_BYTES - a]
+            if not data:
+                continue
+            verifier.write(a, data)
+            shadow[a: a + len(data)] = data
+        elif name == "read":
+            length = min(payload, DATA_BYTES - a)
+            if length <= 0:
+                continue
+            assert verifier.read(a, length) == bytes(shadow[a: a + length])
+        elif name == "flush":
+            verifier.flush()
+        else:  # a correct DMA cycle into chunk index a
+            address = a * CHUNK
+            verifier.flush()
+            verifier.unprotect_range(address, CHUNK)
+            device.transfer(verifier.physical_address(address), payload)
+            verifier.rebuild_range(address, CHUNK)
+            shadow[address: address + CHUNK] = payload
+
+    verifier.flush()
+    assert verifier.read(0, DATA_BYTES) == bytes(shadow)

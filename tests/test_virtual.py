@@ -1,0 +1,160 @@
+"""Tests for the Section 5.6 extension: per-program virtual verification."""
+
+import pytest
+
+from repro.common import ConfigurationError, IntegrityError, SecureModeError
+from repro.hashtree.virtual import MultiProgramVerifier, VerifiedContext
+from repro.memory import UntrustedMemory
+
+PAGE = 4096
+
+
+@pytest.fixture
+def system():
+    memory = UntrustedMemory(1 << 20)
+    return memory, MultiProgramVerifier(memory, page_bytes=PAGE)
+
+
+class TestContextBasics:
+    def test_mapped_page_round_trip(self, system):
+        _, mpv = system
+        context = mpv.create_context("alice", n_pages=4)
+        context.map_page(0)
+        context.write(100, b"per-program data")
+        assert context.read(100, 16) == b"per-program data"
+
+    def test_cross_page_access(self, system):
+        _, mpv = system
+        context = mpv.create_context("alice", n_pages=4)
+        context.map_page(0)
+        context.map_page(1)
+        data = bytes(range(200))
+        context.write(PAGE - 100, data)
+        assert context.read(PAGE - 100, 200) == data
+
+    def test_unmapped_page_faults(self, system):
+        _, mpv = system
+        context = mpv.create_context("alice", n_pages=2)
+        with pytest.raises(SecureModeError):
+            context.read(0, 4)
+
+    def test_double_map_rejected(self, system):
+        _, mpv = system
+        context = mpv.create_context("alice", n_pages=2)
+        context.map_page(0)
+        with pytest.raises(SecureModeError):
+            context.map_page(0)
+
+    def test_frame_exhaustion(self, system):
+        _, mpv = system
+        context = mpv.create_context("alice", n_pages=1)
+        context.map_page(0)
+        with pytest.raises(SecureModeError):
+            context.map_page(1)
+
+    def test_os_cannot_map_foreign_frame(self, system):
+        _, mpv = system
+        context = mpv.create_context("alice", n_pages=2)
+        with pytest.raises(SecureModeError):
+            context.map_page(0, frame=99)  # outside the context's tree
+
+
+class TestIsolation:
+    def test_contexts_have_disjoint_memory(self, system):
+        _, mpv = system
+        alice = mpv.create_context("alice", n_pages=2)
+        bob = mpv.create_context("bob", n_pages=2)
+        alice.map_page(0, frame=0)
+        bob.map_page(0, frame=0)  # same *frame number*, different carve-out
+        alice.write(0, b"alice-secret")
+        bob.write(0, b"bob-data....")
+        assert alice.read(0, 12) == b"alice-secret"
+        assert bob.read(0, 12) == b"bob-data...."
+
+    def test_contexts_have_independent_roots(self, system):
+        memory, mpv = system
+        alice = mpv.create_context("alice", n_pages=2)
+        bob = mpv.create_context("bob", n_pages=2)
+        assert (alice.verifier.tree.secure_store
+                is not bob.verifier.tree.secure_store)
+
+    def test_tampering_one_context_leaves_other_usable(self, system):
+        memory, mpv = system
+        alice = mpv.create_context("alice", n_pages=2)
+        bob = mpv.create_context("bob", n_pages=2)
+        alice.map_page(0, frame=0)
+        bob.map_page(0)
+        alice.write(0, b"AAAA")
+        bob.write(0, b"BBBB")
+        alice.verifier.flush()
+        # physically corrupt alice's carve-out (page 0 pinned to frame 0)
+        physical = alice.verifier.memory.base + alice.verifier.physical_address(0)
+        memory.poke(physical, b"X")
+        for chunk in range(alice.verifier.layout.total_chunks):
+            alice.verifier.tree.invalidate_chunk(chunk)
+        with pytest.raises(IntegrityError):
+            alice.read(0, 4)
+        assert bob.read(0, 4) == b"BBBB"  # unaffected
+
+    def test_physical_exhaustion(self):
+        memory = UntrustedMemory(64 * 1024)
+        mpv = MultiProgramVerifier(memory, page_bytes=PAGE)
+        with pytest.raises(ConfigurationError):
+            for i in range(100):
+                mpv.create_context(f"ctx{i}", n_pages=4)
+
+    def test_duplicate_name_rejected(self, system):
+        _, mpv = system
+        mpv.create_context("alice", n_pages=1)
+        with pytest.raises(ConfigurationError):
+            mpv.create_context("alice", n_pages=1)
+
+
+class TestSwapping:
+    def test_swap_out_and_in(self, system):
+        _, mpv = system
+        context = mpv.create_context("alice", n_pages=2)
+        context.map_page(0)
+        context.write(0, b"resident data")
+        contents = context.swap_out(0)
+        with pytest.raises(SecureModeError):
+            context.read(0, 4)  # page fault while swapped
+        context.swap_in(0, contents)
+        assert context.read(0, 13) == b"resident data"
+
+    def test_swap_in_to_different_frame(self, system):
+        _, mpv = system
+        context = mpv.create_context("alice", n_pages=3)
+        context.map_page(0, frame=0)
+        context.write(0, b"movable")
+        contents = context.swap_out(0)
+        context.swap_in(0, contents, frame=2)
+        assert context.read(0, 7) == b"movable"
+
+    def test_os_cannot_substitute_swap_contents(self, system):
+        _, mpv = system
+        context = mpv.create_context("alice", n_pages=2)
+        context.map_page(0)
+        context.write(0, b"genuine page")
+        contents = bytearray(context.swap_out(0))
+        contents[0] ^= 0xFF  # the OS tampers with the swapped page
+        with pytest.raises(SecureModeError):
+            context.swap_in(0, bytes(contents))
+
+    def test_swap_in_requires_swapped_page(self, system):
+        _, mpv = system
+        context = mpv.create_context("alice", n_pages=2)
+        context.map_page(0)
+        with pytest.raises(SecureModeError):
+            context.swap_in(0, bytes(PAGE))
+
+    def test_swap_frees_the_frame(self, system):
+        _, mpv = system
+        context = mpv.create_context("alice", n_pages=1)
+        context.map_page(0)
+        context.write(0, b"page zero")
+        contents = context.swap_out(0)
+        context.map_page(1)         # reuses the freed frame
+        context.write(PAGE, b"page one")
+        with pytest.raises(SecureModeError):
+            context.swap_in(0, contents)  # no free frame now

@@ -1,0 +1,126 @@
+"""Tests for the synthetic workload generators and SPEC stand-in profiles."""
+
+import pytest
+
+from repro.cpu.isa import OP_LATENCY, Instruction
+from repro.workloads import (
+    BANDWIDTH_BOUND,
+    BENCHMARK_ORDER,
+    SPEC_PROFILES,
+    WorkloadProfile,
+    generate_list,
+    spec_workload,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = spec_workload("gcc", 2000, seed=7)
+        b = spec_workload("gcc", 2000, seed=7)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = spec_workload("gcc", 2000, seed=1)
+        b = spec_workload("gcc", 2000, seed=2)
+        assert a != b
+
+    def test_different_benchmarks_differ(self):
+        assert spec_workload("gcc", 500) != spec_workload("gzip", 500)
+
+
+class TestMix:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_operation_fractions_close_to_profile(self, name):
+        profile = SPEC_PROFILES[name]
+        stream = spec_workload(name, 20000)
+        loads = sum(1 for i in stream if i.kind == "load") / len(stream)
+        stores = sum(1 for i in stream if i.kind == "store") / len(stream)
+        branches = sum(1 for i in stream if i.kind == "branch") / len(stream)
+        assert loads == pytest.approx(profile.load_fraction, abs=0.02)
+        assert stores == pytest.approx(profile.store_fraction, abs=0.02)
+        assert branches == pytest.approx(profile.branch_fraction, abs=0.02)
+
+    def test_mispredict_rate(self):
+        stream = spec_workload("gcc", 50000)
+        branches = [i for i in stream if i.kind == "branch"]
+        bad = sum(1 for b in branches if b.mispredicted)
+        assert bad / len(branches) == pytest.approx(
+            SPEC_PROFILES["gcc"].mispredict_rate, rel=0.3
+        )
+
+
+class TestAddresses:
+    def test_addresses_stay_in_segment(self):
+        for name in BENCHMARK_ORDER:
+            profile = SPEC_PROFILES[name]
+            for instruction in spec_workload(name, 5000):
+                if instruction.is_memory:
+                    assert (profile.code_bytes <= instruction.address
+                            < profile.code_bytes + profile.footprint_bytes)
+                assert 0 <= instruction.pc < profile.code_bytes
+
+    def test_streaming_loads_are_sequential(self):
+        stream = spec_workload("swim", 5000)
+        loads = [i.address for i in stream if i.kind == "load"]
+        deltas = [b - a for a, b in zip(loads, loads[1:])]
+        assert deltas.count(8) / len(deltas) > 0.95
+
+    def test_streaming_stores_mark_full_blocks(self):
+        stream = spec_workload("swim", 20000)
+        stores = [i for i in stream if i.kind == "store"]
+        marked = sum(1 for s in stores if s.full_block)
+        # one full-block mark per 8-word block of the write sweep
+        assert 0.05 < marked / len(stores) < 0.3
+
+    def test_pointer_chase_has_serial_loads(self):
+        stream = spec_workload("mcf", 20000)
+        loads = [(idx, i) for idx, i in enumerate(stream) if i.kind == "load"]
+        chained = 0
+        for (prev_idx, _), (idx, load) in zip(loads, loads[1:]):
+            if load.dep1 == idx - prev_idx:
+                chained += 1
+        assert chained / len(loads) > 0.2
+
+    def test_wset_concentrates_references(self):
+        profile = SPEC_PROFILES["gzip"]
+        stream = spec_workload("gzip", 20000)
+        hot_limit = profile.code_bytes + max(profile.hot_bytes, profile.stack_bytes)
+        refs = [i.address for i in stream if i.is_memory]
+        hot = sum(1 for a in refs if a < hot_limit)
+        assert hot / len(refs) > 0.9
+
+
+class TestProfileValidation:
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", footprint_bytes=1 << 20, pattern="fractal")
+
+    def test_rejects_saturated_mix(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", footprint_bytes=1 << 20,
+                            load_fraction=0.5, store_fraction=0.4,
+                            branch_fraction=0.2)
+
+    def test_rejects_tiny_footprint(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", footprint_bytes=64)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            spec_workload("linpack", 100)
+
+    def test_registry_complete(self):
+        assert set(BENCHMARK_ORDER) == set(SPEC_PROFILES)
+        assert set(BANDWIDTH_BOUND) <= set(BENCHMARK_ORDER)
+        assert len(BENCHMARK_ORDER) == 9  # the paper's nine benchmarks
+
+
+class TestInstructionRecord:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Instruction(kind="teleport")
+
+    def test_latency_lookup(self):
+        assert Instruction(kind="alu").latency == OP_LATENCY["alu"]
+        assert Instruction(kind="load").is_memory
+        assert not Instruction(kind="branch").is_memory
