@@ -2,26 +2,40 @@
 
 Every figure is a grid of (benchmark, scheme, machine-variant) cells; many
 figures share cells (e.g. Figure 4's miss rates come from Figure 3's
-256 KB and 4 MB runs), so results are cached per session in `CELL_CACHE`.
+256 KB and 4 MB runs).  Cells are declared as
+:class:`repro.sim.sweep.CellSpec` values, so
+
+* session sharing uses the spec's normalized key — an explicit value equal
+  to the Table 1 default can never create a duplicate cache entry, for
+  *any* parameter (the spec and the on-disk fingerprint share one defaults
+  table, :func:`repro.sim.sweep.cell_param_defaults`);
+* results persist across harness runs in the content-addressed disk cache
+  under ``.repro_cache/`` — a re-run of an unchanged figure is seconds,
+  not minutes.  Prime it for all figures at once with
+  ``python -m repro sweep --figure all --jobs N``.
 
 Environment knobs:
 
 ``REPRO_BENCH_FAST=1``
     Run three representative benchmarks (gzip, twolf, swim) with shorter
     measurement windows — for smoke-testing the harness itself.
+``REPRO_BENCH_CACHE=0``
+    Disable the persistent disk cache (session sharing still applies).
+``REPRO_CACHE_DIR=PATH``
+    Put the disk cache somewhere other than ``.repro_cache/``.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, Optional, Tuple
 
-import dataclasses
 import pytest
 
-from repro.common import HashEngineConfig, SchemeKind, SystemConfig, table1_config
-from repro.sim import run_benchmark
+from repro.common import SchemeKind, SystemConfig
 from repro.sim.results import SimResult
+from repro.sim.sweep import CellSpec, DiskCellCache, cell_fingerprint, execute_cell
 from repro.workloads import BENCHMARK_ORDER
 
 FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
@@ -31,6 +45,12 @@ INSTRUCTIONS = 6_000 if FAST else 12_000
 
 CellKey = Tuple
 CELL_CACHE: Dict[CellKey, SimResult] = {}
+
+DISK_CACHE: Optional[DiskCellCache] = (
+    None
+    if os.environ.get("REPRO_BENCH_CACHE") == "0"
+    else DiskCellCache(os.environ.get("REPRO_CACHE_DIR"))
+)
 
 
 def cell(
@@ -44,23 +64,28 @@ def cell(
     write_allocate_valid_bits: Optional[bool] = None,
 ) -> SimResult:
     """Run (or fetch) one simulation cell."""
-    # normalize defaults so figures share cache entries
-    if hash_throughput == HashEngineConfig().throughput_gb_per_s:
-        hash_throughput = None
-    if buffer_entries == HashEngineConfig().read_buffer_entries:
-        buffer_entries = None
-    if write_allocate_valid_bits is True:
-        write_allocate_valid_bits = None
-    key = (benchmark, scheme.value, l2_size, l2_block, hash_throughput,
-           buffer_entries, blocks_per_chunk, write_allocate_valid_bits,
-           INSTRUCTIONS)
+    spec = CellSpec(
+        benchmark, scheme,
+        l2_size=l2_size, l2_block=l2_block,
+        hash_throughput=hash_throughput, buffer_entries=buffer_entries,
+        blocks_per_chunk=blocks_per_chunk,
+        write_allocate_valid_bits=write_allocate_valid_bits,
+        instructions=INSTRUCTIONS,
+    ).normalized()
+    key = spec.key()
     if key in CELL_CACHE:
         return CELL_CACHE[key]
-    config = build_config(
-        scheme, l2_size, l2_block, hash_throughput, buffer_entries,
-        blocks_per_chunk, write_allocate_valid_bits,
-    )
-    result = run_benchmark(config, benchmark, instructions=INSTRUCTIONS)
+    result = None
+    fingerprint = None
+    if DISK_CACHE is not None:
+        fingerprint = cell_fingerprint(spec)
+        result = DISK_CACHE.get(fingerprint)
+    if result is None:
+        start = time.perf_counter()
+        result = execute_cell(spec)
+        if DISK_CACHE is not None:
+            DISK_CACHE.put(fingerprint, spec, result,
+                           time.perf_counter() - start)
     CELL_CACHE[key] = result
     return result
 
@@ -74,27 +99,14 @@ def build_config(
     blocks_per_chunk: Optional[int] = None,
     write_allocate_valid_bits: Optional[bool] = None,
 ) -> SystemConfig:
-    config = table1_config(scheme)
-    if l2_size is not None or l2_block is not None:
-        config = config.with_l2(size_bytes=l2_size, block_bytes=l2_block)
-    engine_changes = {}
-    if hash_throughput is not None:
-        engine_changes["throughput_gb_per_s"] = hash_throughput
-    if buffer_entries is not None:
-        engine_changes["read_buffer_entries"] = buffer_entries
-        engine_changes["write_buffer_entries"] = buffer_entries
-    if engine_changes:
-        config = dataclasses.replace(
-            config,
-            hash_engine=dataclasses.replace(config.hash_engine, **engine_changes),
-        )
-    if blocks_per_chunk is not None:
-        config = dataclasses.replace(config, blocks_per_chunk=blocks_per_chunk)
-    if write_allocate_valid_bits is not None:
-        config = dataclasses.replace(
-            config, write_allocate_valid_bits=write_allocate_valid_bits
-        )
-    return config
+    """The config a cell with these deltas simulates (benchmark-agnostic)."""
+    return CellSpec(
+        "gzip", scheme,
+        l2_size=l2_size, l2_block=l2_block,
+        hash_throughput=hash_throughput, buffer_entries=buffer_entries,
+        blocks_per_chunk=blocks_per_chunk,
+        write_allocate_valid_bits=write_allocate_valid_bits,
+    ).build_config()
 
 
 def print_banner(title: str) -> None:

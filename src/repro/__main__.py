@@ -16,6 +16,8 @@ Commands:
     Print the Section 6.1 hash-unit logic-overhead sizing.
 ``trace BENCHMARK PATH [-n N]``
     Save a deterministic instruction trace of a benchmark model.
+``sweep --figure FIG [--jobs N] [--no-cache] [--fresh]``
+    Run a whole figure grid in parallel with the persistent result cache.
 """
 
 from __future__ import annotations
@@ -121,6 +123,38 @@ def _cmd_area(_args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .analysis import sweep_ipc_table
+    from .sim.sweep import DiskCellCache, figure_cells, run_cells
+
+    try:
+        cells = figure_cells(args.figure, benchmarks=args.benchmarks,
+                             instructions=args.instructions)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else DiskCellCache(args.cache_dir)
+
+    def progress(outcome) -> None:
+        if outcome.source == "cached":
+            print(f"  [cached       ] {outcome.spec.label()}")
+        elif outcome.source == "failed":
+            print(f"  [FAILED       ] {outcome.spec.label()}: {outcome.error}")
+        else:
+            print(f"  [run {outcome.elapsed_s:7.2f}s ] {outcome.spec.label()}")
+
+    report = run_cells(cells, jobs=args.jobs, cache=cache, fresh=args.fresh,
+                       progress=progress)
+    print()
+    print(sweep_ipc_table(report, title=f"{args.figure}: IPC"))
+    print()
+    print(report.summary())
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses "
+              f"({cache.root})")
+    return 1 if report.failed else 0
+
+
 def _cmd_trace(args) -> int:
     from .workloads import save_trace, spec_workload
     count = save_trace(spec_workload(args.benchmark, args.n, args.seed),
@@ -150,6 +184,22 @@ def main(argv=None) -> int:
     compare.add_argument("benchmark", choices=BENCHMARK_ORDER)
     compare.add_argument("--instructions", type=int, default=12_000)
 
+    sweep = sub.add_parser("sweep")
+    sweep.add_argument("--figure", default="fig3",
+                       help="fig3..fig8, or 'all' (default: fig3)")
+    sweep.add_argument("--benchmarks", nargs="*", default=None,
+                       choices=BENCHMARK_ORDER,
+                       help="subset of benchmarks (default: all nine)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default: 1)")
+    sweep.add_argument("--instructions", type=int, default=12_000)
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache entirely")
+    sweep.add_argument("--fresh", action="store_true",
+                       help="ignore cached results but store new ones")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="cache root (default: .repro_cache)")
+
     trace = sub.add_parser("trace")
     trace.add_argument("benchmark", choices=BENCHMARK_ORDER)
     trace.add_argument("path")
@@ -164,6 +214,7 @@ def main(argv=None) -> int:
         "compare": _cmd_compare,
         "experiments": _cmd_experiments,
         "area": _cmd_area,
+        "sweep": _cmd_sweep,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

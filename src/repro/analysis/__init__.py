@@ -7,6 +7,7 @@ from .tables import (
     metric_table,
     relative_ipc_table,
     series_table,
+    sweep_ipc_table,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "metric_table",
     "relative_ipc_table",
     "series_table",
+    "sweep_ipc_table",
 ]

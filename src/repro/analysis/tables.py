@@ -96,3 +96,34 @@ def series_table(
 ) -> str:
     rows = [(b, per_benchmark[b]) for b in benchmarks if b in per_benchmark]
     return format_table(title, series_labels, rows, value_format=value_format)
+
+
+def sweep_ipc_table(report, title: str = "IPC") -> str:
+    """Render a sweep's results as benchmarks x machine-variant columns.
+
+    Columns are the distinct (scheme + non-default parameters) labels in
+    the order the sweep declared them, so a figure sweep prints in the
+    figure's own column order.  Takes a
+    :class:`~repro.sim.sweep.runner.SweepReport`.
+    """
+    columns: List[str] = []
+    values: Dict[Tuple[str, str], float] = {}
+    row_names: List[str] = []
+    for spec, result in report.results.items():
+        label = spec.label()
+        column = label.split("/", 1)[1] if "/" in label else "default"
+        if column not in columns:
+            columns.append(column)
+        if spec.benchmark not in row_names:
+            row_names.append(spec.benchmark)
+        values[(spec.benchmark, column)] = result.ipc
+    ordered_rows = [b for b in BENCHMARK_ORDER if b in row_names]
+    ordered_rows += [b for b in row_names if b not in ordered_rows]
+    rows = []
+    for benchmark in ordered_rows:
+        rows.append(
+            (benchmark,
+             [values.get((benchmark, column), float("nan"))
+              for column in columns])
+        )
+    return format_table(title, columns, rows)

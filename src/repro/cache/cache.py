@@ -38,6 +38,13 @@ class FillResult:
 #: supported victim-selection policies.
 REPLACEMENT_POLICIES = ("lru", "fifo", "random")
 
+#: shared immutable access outcomes — the access path is the hottest loop in
+#: the whole simulator, so it must not allocate a result object per call.
+_HIT_CLEAN = AccessResult(hit=True, was_dirty=False)
+_HIT_DIRTY = AccessResult(hit=True, was_dirty=True)
+_MISS = AccessResult(hit=False)
+_NO_VICTIM = FillResult(None, False)
+
 
 class CacheSim:
     """Set-associative write-back cache, tags only.
@@ -63,6 +70,21 @@ class CacheSim:
         self._dirty: set[int] = set()
         import random as _random
         self._rng = _random.Random(seed)
+        self._lru = policy == "lru"
+        self._counters = self.stats.counters
+        #: per-kind precomputed stat keys: (accesses, writes, hits, misses, fills)
+        self._kind_keys: dict = {}
+
+    def _keys_for(self, kind: str) -> tuple:
+        keys = (f"{kind}_accesses", f"{kind}_writes", f"{kind}_hits",
+                f"{kind}_misses", f"{kind}_fills")
+        self._kind_keys[kind] = keys
+        return keys
+
+    def divert_counters(self, divert: bool) -> None:
+        """Send counter updates to a scratch dict (for warm-up phases whose
+        statistics are reset anyway) or back to the real :attr:`stats`."""
+        self._counters = {} if divert else self.stats.counters
 
     # -- address helpers --------------------------------------------------------
 
@@ -80,22 +102,29 @@ class CacheSim:
         Misses do *not* allocate — the caller decides when the fill happens
         (after the block arrives) via :meth:`fill`.
         """
-        block = self.block_address(address)
-        ways = self._sets[self._set_index(block)]
-        self.stats.add(f"{kind}_accesses")
+        offset_bits = self._offset_bits
+        block = (address >> offset_bits) << offset_bits
+        ways = self._sets[(block >> offset_bits) % self._n_sets]
+        keys = self._kind_keys.get(kind) or self._keys_for(kind)
+        counters = self._counters
+        get = counters.get
+        counters[keys[0]] = get(keys[0], 0) + 1
         if write:
-            self.stats.add(f"{kind}_writes")
+            counters[keys[1]] = get(keys[1], 0) + 1
         if block in ways:
-            if self.policy == "lru":
+            if self._lru and ways[0] != block:
                 ways.remove(block)
                 ways.insert(0, block)
-            self.stats.add(f"{kind}_hits")
-            was_dirty = block in self._dirty
+            counters[keys[2]] = get(keys[2], 0) + 1
+            dirty = self._dirty
             if write:
-                self._dirty.add(block)
-            return AccessResult(hit=True, was_dirty=was_dirty)
-        self.stats.add(f"{kind}_misses")
-        return AccessResult(hit=False)
+                if block in dirty:
+                    return _HIT_DIRTY
+                dirty.add(block)
+                return _HIT_CLEAN
+            return _HIT_DIRTY if block in dirty else _HIT_CLEAN
+        counters[keys[3]] = get(keys[3], 0) + 1
+        return _MISS
 
     def probe(self, address: int) -> bool:
         """Presence test with no LRU/stat side effects."""
@@ -107,14 +136,18 @@ class CacheSim:
 
     def fill(self, address: int, dirty: bool = False, kind: str = "data") -> FillResult:
         """Allocate ``address``'s block, evicting the LRU way if needed."""
-        block = self.block_address(address)
-        ways = self._sets[self._set_index(block)]
+        offset_bits = self._offset_bits
+        block = (address >> offset_bits) << offset_bits
+        ways = self._sets[(block >> offset_bits) % self._n_sets]
+        counters = self._counters
+        get = counters.get
         if block in ways:  # racing fill (e.g. two misses to one block)
-            ways.remove(block)
-            ways.insert(0, block)
+            if ways[0] != block:
+                ways.remove(block)
+                ways.insert(0, block)
             if dirty:
                 self._dirty.add(block)
-            return FillResult(None, False)
+            return _NO_VICTIM
         victim_address = None
         victim_dirty = False
         if len(ways) >= self.config.associativity:
@@ -124,13 +157,16 @@ class CacheSim:
                 victim_address = ways.pop()
             victim_dirty = victim_address in self._dirty
             self._dirty.discard(victim_address)
-            self.stats.add("evictions")
+            counters["evictions"] = get("evictions", 0) + 1
             if victim_dirty:
-                self.stats.add("dirty_evictions")
+                counters["dirty_evictions"] = get("dirty_evictions", 0) + 1
         ways.insert(0, block)
         if dirty:
             self._dirty.add(block)
-        self.stats.add(f"{kind}_fills")
+        keys = self._kind_keys.get(kind) or self._keys_for(kind)
+        counters[keys[4]] = get(keys[4], 0) + 1
+        if victim_address is None:
+            return _NO_VICTIM
         return FillResult(victim_address, victim_dirty)
 
     def invalidate(self, address: int) -> bool:

@@ -141,6 +141,15 @@ class MemoryHierarchy:
 
     # -- functional warm-up ----------------------------------------------------------------
 
+    def set_warm_mode(self, on: bool) -> None:
+        """Enter/leave functional warm-up: timing off and cache/TLB counters
+        diverted to scratch storage (warm-up statistics are discarded by the
+        post-warm-up reset, so the hot path need not maintain them)."""
+        self.memory.timing_enabled = not on
+        self.engine.timing_enabled = not on
+        for sim in (self.l1i, self.l1d, self.l2, self.itlb, self.dtlb):
+            sim.divert_counters(on)
+
     def warm(self, instructions) -> None:
         """Replay memory references with timing disabled.
 
@@ -150,23 +159,23 @@ class MemoryHierarchy:
         engine free and instantaneous.  This stands in for the paper's
         1.5-billion-instruction fast-forward at tractable cost.
         """
-        self.memory.timing_enabled = False
-        self.engine.timing_enabled = False
+        self.set_warm_mode(True)
+        ifetch, load, store = self.ifetch, self.load, self.store
         try:
             last_line = -1
             for instruction in instructions:
                 line = instruction.pc >> 5
                 if line != last_line:
-                    self.ifetch(instruction.pc, 0)
+                    ifetch(instruction.pc, 0)
                     last_line = line
-                if instruction.kind == "load":
-                    self.load(instruction.address, 0)
-                elif instruction.kind == "store":
-                    self.store(instruction.address, 0,
-                               full_block=instruction.full_block)
+                kind = instruction.kind
+                if kind == "load":
+                    load(instruction.address, 0)
+                elif kind == "store":
+                    store(instruction.address, 0,
+                          full_block=instruction.full_block)
         finally:
-            self.memory.timing_enabled = True
-            self.engine.timing_enabled = True
+            self.set_warm_mode(False)
 
     # -- reporting ------------------------------------------------------------------------
 

@@ -18,22 +18,33 @@ class TLBSim:
         self._page_bits = log2_exact(config.page_bytes)
         self._n_sets = config.entries // config.associativity
         self._sets: List[List[int]] = [[] for _ in range(self._n_sets)]
+        self._counters = self.stats.counters
+        self._associativity = config.associativity
+        self._miss_penalty = config.miss_penalty_cycles
 
     def access(self, address: int) -> int:
         """Translate ``address``; returns the added latency in cycles."""
         page = address >> self._page_bits
         ways = self._sets[page % self._n_sets]
-        self.stats.add("accesses")
+        counters = self._counters
+        get = counters.get
+        counters["accesses"] = get("accesses", 0) + 1
         if page in ways:
-            ways.remove(page)
-            ways.insert(0, page)
-            self.stats.add("hits")
+            if ways[0] != page:
+                ways.remove(page)
+                ways.insert(0, page)
+            counters["hits"] = get("hits", 0) + 1
             return 0
-        self.stats.add("misses")
-        if len(ways) >= self.config.associativity:
+        counters["misses"] = get("misses", 0) + 1
+        if len(ways) >= self._associativity:
             ways.pop()
         ways.insert(0, page)
-        return self.config.miss_penalty_cycles
+        return self._miss_penalty
+
+    def divert_counters(self, divert: bool) -> None:
+        """Send counter updates to a scratch dict (for warm-up phases whose
+        statistics are reset anyway) or back to the real :attr:`stats`."""
+        self._counters = {} if divert else self.stats.counters
 
     @property
     def miss_rate(self) -> float:

@@ -22,48 +22,51 @@ class StatGroup:
 
     def __init__(self, name: str):
         self.name = name
-        self._counters: Dict[str, float] = {}
+        #: the raw counter dict.  Hot paths may bind this once and update it
+        #: in place; :meth:`reset` clears it in place so bindings stay valid,
+        #: and the attribute itself is never reassigned.
+        self.counters: Dict[str, float] = {}
 
     def add(self, key: str, amount: float = 1) -> None:
         """Increment ``key`` by ``amount`` (creating it at zero)."""
-        self._counters[key] = self._counters.get(key, 0) + amount
+        self.counters[key] = self.counters.get(key, 0) + amount
 
     def set(self, key: str, value: float) -> None:
         """Set ``key`` to an absolute value (for gauges like occupancy peaks)."""
-        self._counters[key] = value
+        self.counters[key] = value
 
     def max(self, key: str, value: float) -> None:
         """Record the maximum of the current value and ``value``."""
-        current = self._counters.get(key, value)
-        self._counters[key] = value if value > current else current
+        current = self.counters.get(key, value)
+        self.counters[key] = value if value > current else current
 
     def get(self, key: str, default: float = 0) -> float:
-        return self._counters.get(key, default)
+        return self.counters.get(key, default)
 
     def __getitem__(self, key: str) -> float:
-        return self._counters.get(key, 0)
+        return self.counters.get(key, 0)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._counters
+        return key in self.counters
 
     def items(self) -> Iterator[Tuple[str, float]]:
-        return iter(sorted(self._counters.items()))
+        return iter(sorted(self.counters.items()))
 
     def ratio(self, numerator: str, denominator: str) -> float:
         """Safe ratio of two counters; zero denominator yields 0.0."""
-        denom = self._counters.get(denominator, 0)
+        denom = self.counters.get(denominator, 0)
         if denom == 0:
             return 0.0
-        return self._counters.get(numerator, 0) / denom
+        return self.counters.get(numerator, 0) / denom
 
     def reset(self) -> None:
-        self._counters.clear()
+        self.counters.clear()
 
     def as_dict(self, prefix: bool = True) -> Dict[str, float]:
         """A plain-dict snapshot, optionally prefixed with the group name."""
         if not prefix:
-            return dict(self._counters)
-        return {f"{self.name}.{key}": value for key, value in self._counters.items()}
+            return dict(self.counters)
+        return {f"{self.name}.{key}": value for key, value in self.counters.items()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         body = ", ".join(f"{k}={v}" for k, v in self.items())

@@ -71,6 +71,10 @@ class TreeLayout:
         self.total_chunks = self._solve_total_chunks(self.n_leaves, self.arity)
         self.n_internal = self.total_chunks - self.n_leaves
         self.first_leaf = self.n_internal
+        #: memoized :meth:`hash_location` results — the timing schemes ask
+        #: for the same chunks' hash locations millions of times per run,
+        #: and the geometry never changes after construction.
+        self._location_cache: dict = {}
 
     @staticmethod
     def _solve_total_chunks(n_leaves: int, arity: int) -> int:
@@ -128,12 +132,18 @@ class TreeLayout:
 
     def hash_location(self, chunk: int) -> HashLocation:
         """Where the hash of ``chunk`` is stored."""
+        location = self._location_cache.get(chunk)
+        if location is not None:
+            return location
         parent = self.parent_of(chunk)
         index = self.index_in_parent(chunk)
         if parent == SECURE_PARENT:
-            return HashLocation(True, SECURE_PARENT, index, -1)
-        address = self.chunk_address(parent) + index * self.hash_bytes
-        return HashLocation(False, parent, index, address)
+            location = HashLocation(True, SECURE_PARENT, index, -1)
+        else:
+            address = self.chunk_address(parent) + index * self.hash_bytes
+            location = HashLocation(False, parent, index, address)
+        self._location_cache[chunk] = location
+        return location
 
     def path_to_root(self, chunk: int) -> Iterator[int]:
         """Chunks visited walking from ``chunk`` (inclusive) up to secure memory."""

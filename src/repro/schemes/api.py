@@ -65,6 +65,11 @@ class TimingScheme:
         self.layout = layout
         self.stats = StatGroup(f"scheme_{self.name}")
         self.block_bytes = config.l2.block_bytes
+        #: constant offset applied by :meth:`data_address` — precomputed so
+        #: the per-reference hot path is one integer add.
+        self._data_offset = (
+            0 if layout is None else layout.first_leaf * layout.chunk_bytes
+        )
 
     # -- interface used by the memory hierarchy -----------------------------------
 
@@ -78,9 +83,7 @@ class TimingScheme:
 
     def data_address(self, program_address: int) -> int:
         """Map a program address into the protected physical segment."""
-        if self.layout is None:
-            return program_address
-        return program_address + self.layout.first_leaf * self.layout.chunk_bytes
+        return program_address + self._data_offset
 
     # -- shared helpers ---------------------------------------------------------------
 

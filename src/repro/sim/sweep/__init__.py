@@ -1,0 +1,49 @@
+"""Sweep engine: declarative cells, parallel runner, persistent cache.
+
+``grid`` keeps the original sequential :func:`run_grid` API; everything
+else is the cell-based engine: :class:`CellSpec` (declarative cells),
+:func:`cell_fingerprint` (content-addressed identity),
+:class:`DiskCellCache` (persistent on-disk results) and :func:`run_cells`
+(deterministic parallel execution).
+"""
+
+from .diskcache import DEFAULT_CACHE_DIR, DiskCellCache, result_from_dict, result_to_dict
+from .figures import FIGURES, figure_cells
+from .fingerprint import (
+    CACHE_SCHEMA_VERSION,
+    cell_fingerprint,
+    config_from_dict,
+    config_to_dict,
+)
+from .grid import baseline_of, run_grid
+from .runner import (
+    CellOutcome,
+    SweepReport,
+    execute_cell,
+    results_grid,
+    run_cells,
+)
+from .spec import CELL_PARAMS, CellSpec, cell_param_defaults
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CELL_PARAMS",
+    "CellOutcome",
+    "CellSpec",
+    "DEFAULT_CACHE_DIR",
+    "DiskCellCache",
+    "FIGURES",
+    "SweepReport",
+    "baseline_of",
+    "cell_fingerprint",
+    "cell_param_defaults",
+    "config_from_dict",
+    "config_to_dict",
+    "execute_cell",
+    "figure_cells",
+    "result_from_dict",
+    "result_to_dict",
+    "results_grid",
+    "run_cells",
+    "run_grid",
+]

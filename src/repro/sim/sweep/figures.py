@@ -1,0 +1,148 @@
+"""Declarative cell grids for the paper's figures.
+
+One function per figure returns the exact list of :class:`CellSpec` cells
+that figure needs; :func:`figure_cells` dispatches by name.  The grids
+mirror the benchmark harness in ``benchmarks/`` cell for cell, so a sweep
+primed here leaves the harness (and any other figure sharing rows — e.g.
+Figure 4 reuses Figure 3's 256 KB and 4 MB columns, Figure 5 its 1 MB
+column) nothing left to compute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ...common.config import KB, MB, SchemeKind
+from ...workloads.spec import BENCHMARK_ORDER
+from .spec import CellSpec
+
+#: Figure 3 sweeps these L2 geometries over base/chash/naive.
+FIG3_L2_SIZES = (256 * KB, 1 * MB, 4 * MB)
+FIG3_L2_BLOCKS = (64, 128)
+FIG3_SCHEMES = (SchemeKind.BASE, SchemeKind.CHASH, SchemeKind.NAIVE)
+
+#: Figure 6 sweeps the hash-engine throughput (GB/s) at 1 MB / 64 B.
+FIG6_THROUGHPUTS = (6.4, 3.2, 1.6, 0.8)
+
+#: Figure 7 sweeps the hash read/write buffer depth at 1 MB / 64 B.
+FIG7_BUFFER_SIZES = (1, 2, 4, 8, 16, 32)
+
+#: Figure 8 compares the reduced-memory-overhead schemes at 1 MB.
+FIG8_VARIANTS = (
+    ("c-64B", SchemeKind.CHASH, 64, None),
+    ("c-128B", SchemeKind.CHASH, 128, None),
+    ("m-64B", SchemeKind.MHASH, 64, 2),
+    ("i-64B", SchemeKind.IHASH, 64, 2),
+)
+
+
+def _benchmarks(benchmarks: Optional[Iterable[str]]) -> List[str]:
+    return list(BENCHMARK_ORDER) if benchmarks is None else list(benchmarks)
+
+
+def fig3_cells(benchmarks: Optional[Iterable[str]] = None,
+               instructions: int = 12_000) -> List[CellSpec]:
+    """IPC across six L2 geometries x three schemes (the headline grid)."""
+    return [
+        CellSpec(bench, scheme, l2_size=size, l2_block=block,
+                 instructions=instructions)
+        for block in FIG3_L2_BLOCKS
+        for size in FIG3_L2_SIZES
+        for scheme in FIG3_SCHEMES
+        for bench in _benchmarks(benchmarks)
+    ]
+
+
+def fig4_cells(benchmarks: Optional[Iterable[str]] = None,
+               instructions: int = 12_000) -> List[CellSpec]:
+    """L2 data miss-rates, base vs chash at 256 KB and 4 MB (fig3 subset)."""
+    return [
+        CellSpec(bench, scheme, l2_size=size, l2_block=64,
+                 instructions=instructions)
+        for size in (256 * KB, 4 * MB)
+        for scheme in (SchemeKind.BASE, SchemeKind.CHASH)
+        for bench in _benchmarks(benchmarks)
+    ]
+
+
+def fig5_cells(benchmarks: Optional[Iterable[str]] = None,
+               instructions: int = 12_000) -> List[CellSpec]:
+    """Memory bandwidth of verification at 1 MB / 64 B (fig3 subset)."""
+    return [
+        CellSpec(bench, scheme, l2_size=1 * MB, l2_block=64,
+                 instructions=instructions)
+        for scheme in FIG3_SCHEMES
+        for bench in _benchmarks(benchmarks)
+    ]
+
+
+def fig6_cells(benchmarks: Optional[Iterable[str]] = None,
+               instructions: int = 12_000) -> List[CellSpec]:
+    """chash IPC as the hash engine slows from 6.4 to 0.8 GB/s."""
+    return [
+        CellSpec(bench, SchemeKind.CHASH, l2_size=1 * MB, l2_block=64,
+                 hash_throughput=throughput, instructions=instructions)
+        for throughput in FIG6_THROUGHPUTS
+        for bench in _benchmarks(benchmarks)
+    ]
+
+
+def fig7_cells(benchmarks: Optional[Iterable[str]] = None,
+               instructions: int = 12_000) -> List[CellSpec]:
+    """chash IPC as the hash buffers shrink from 32 entries to 1."""
+    return [
+        CellSpec(bench, SchemeKind.CHASH, l2_size=1 * MB, l2_block=64,
+                 buffer_entries=entries, instructions=instructions)
+        for entries in FIG7_BUFFER_SIZES
+        for bench in _benchmarks(benchmarks)
+    ]
+
+
+def fig8_cells(benchmarks: Optional[Iterable[str]] = None,
+               instructions: int = 12_000) -> List[CellSpec]:
+    """The reduced-memory-overhead schemes (c/m/i) against base at 1 MB."""
+    cells = [
+        CellSpec(bench, SchemeKind.BASE, l2_size=1 * MB, l2_block=64,
+                 instructions=instructions)
+        for bench in _benchmarks(benchmarks)
+    ]
+    for _label, scheme, block, blocks_per_chunk in FIG8_VARIANTS:
+        cells.extend(
+            CellSpec(bench, scheme, l2_size=1 * MB, l2_block=block,
+                     blocks_per_chunk=blocks_per_chunk,
+                     instructions=instructions)
+            for bench in _benchmarks(benchmarks)
+        )
+    return cells
+
+
+FIGURES: Dict[str, object] = {
+    "fig3": fig3_cells,
+    "fig4": fig4_cells,
+    "fig5": fig5_cells,
+    "fig6": fig6_cells,
+    "fig7": fig7_cells,
+    "fig8": fig8_cells,
+}
+
+
+def figure_cells(figure: str,
+                 benchmarks: Optional[Iterable[str]] = None,
+                 instructions: int = 12_000) -> List[CellSpec]:
+    """The cell grid for ``figure`` (``"fig3"`` .. ``"fig8"`` or ``"all"``).
+
+    ``"all"`` concatenates every figure's grid; the runner dedupes the
+    generous overlap (fig4/fig5 are fig3 subsets; fig6/7/8 share their
+    1 MB chash column with fig3).
+    """
+    if figure == "all":
+        cells: List[CellSpec] = []
+        for build in FIGURES.values():
+            cells.extend(build(benchmarks, instructions))
+        return cells
+    try:
+        build = FIGURES[figure]
+    except KeyError:
+        known = ", ".join(sorted(FIGURES))
+        raise ValueError(f"unknown figure {figure!r} (known: {known}, all)")
+    return build(benchmarks, instructions)

@@ -1,0 +1,108 @@
+"""Content-addressed cell identity for the persistent result cache.
+
+A cell's fingerprint is a SHA-256 over the canonical JSON of everything
+that determines its result:
+
+* the **built** :class:`~repro.common.config.SystemConfig` dataclass tree
+  (serialized field by field, so *any* config change — scheme, cache
+  geometry, bus, hash engine, chunking — changes the key);
+* the workload profile of the benchmark (so recalibrating a profile
+  invalidates its cells automatically);
+* the run parameters: instruction count, warm-up length, seed, and the
+  protected-memory size;
+* :data:`CACHE_SCHEMA_VERSION`, bumped whenever the simulator's timing
+  semantics change in a result-affecting way.
+
+Because the fingerprint is computed from the *built* config, two spec
+spellings that build the same machine (say ``l2_size=1 MB`` explicit vs
+defaulted) hash identically — the disk cache can never diverge from the
+session-cache normalization in :mod:`repro.sim.sweep.spec`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, Dict, Optional
+
+from ...cache.hierarchy import DEFAULT_PROTECTED_BYTES
+from ...common.config import (
+    BusConfig,
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    HashEngineConfig,
+    SchemeKind,
+    SystemConfig,
+    TLBConfig,
+)
+from ...workloads.spec import SPEC_PROFILES
+from .spec import CellSpec
+
+#: Bump when simulator changes alter results for an unchanged config —
+#: old cache entries then read as misses instead of stale hits.
+CACHE_SCHEMA_VERSION = 1
+
+
+def to_canonical(value: Any) -> Any:
+    """Recursively convert dataclasses/enums into plain JSON-able data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [to_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): to_canonical(val) for key, val in value.items()}
+    return value
+
+
+def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
+    """Serialize a full config tree to plain nested dicts."""
+    return to_canonical(config)
+
+
+def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from :func:`config_to_dict` output."""
+    return SystemConfig(
+        scheme=SchemeKind(data["scheme"]),
+        core=CoreConfig(**data["core"]),
+        l1i=CacheConfig(**data["l1i"]),
+        l1d=CacheConfig(**data["l1d"]),
+        l2=CacheConfig(**data["l2"]),
+        tlb=TLBConfig(**data["tlb"]),
+        bus=BusConfig(**data["bus"]),
+        dram=DramConfig(**data["dram"]),
+        hash_engine=HashEngineConfig(**data["hash_engine"]),
+        memory_bytes=data["memory_bytes"],
+        blocks_per_chunk=data["blocks_per_chunk"],
+        write_allocate_valid_bits=data["write_allocate_valid_bits"],
+    )
+
+
+def cell_fingerprint(
+    spec: CellSpec,
+    protected_bytes: int = DEFAULT_PROTECTED_BYTES,
+    config: Optional[SystemConfig] = None,
+) -> str:
+    """Stable hex fingerprint of one cell (see module docstring)."""
+    if config is None:
+        config = spec.build_config()
+    profile = SPEC_PROFILES.get(spec.benchmark)
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "config": config_to_dict(config),
+        "benchmark": spec.benchmark,
+        "profile": to_canonical(profile) if profile is not None else None,
+        "instructions": spec.instructions,
+        "warmup": spec.warmup,
+        "seed": spec.seed,
+        "protected_bytes": protected_bytes,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,17 +1,18 @@
-"""Experiment sweeps: run grids of (benchmark, scheme, config) cells.
+"""Sequential convenience grids (the pre-parallel sweep API).
 
-Each figure in the paper is a sweep; these helpers keep the bench harness
+Each figure in the paper is a sweep; these helpers keep simple callers
 declarative.  Results come back keyed so tables can be assembled without
-re-running anything.
+re-running anything.  For parallel, disk-cached sweeps use
+:mod:`repro.sim.sweep.runner` instead.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
-from ..common.config import SchemeKind, SystemConfig
-from .results import SimResult
-from .system import run_benchmark
+from ...common.config import SchemeKind, SystemConfig
+from ..results import SimResult
+from ..system import run_benchmark
 
 SweepKey = Tuple[str, str, str]  # (benchmark, scheme, variant)
 

@@ -1,0 +1,212 @@
+"""Parallel sweep execution: fan cells out across worker processes.
+
+Every cell is fully self-contained (config + benchmark + seed +
+instruction counts), every simulation seeds its own RNGs, and results are
+keyed by cell rather than by completion order — so a sweep is
+*deterministic*: ``jobs=1`` and ``jobs=N`` produce bit-identical
+:class:`SimResult` values, and a cached re-run returns exactly what the
+cold run computed.
+
+Flow per sweep: normalize + dedupe the requested cells, satisfy what the
+:class:`~repro.sim.sweep.diskcache.DiskCellCache` already holds, fan the
+misses out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(``jobs=1`` stays in-process), write fresh results back, and return a
+:class:`SweepReport` with per-cell wall-clock timings and a run/cached/
+failed summary.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..results import SimResult
+from ..system import run_benchmark
+from .diskcache import DiskCellCache
+from .fingerprint import cell_fingerprint
+from .spec import CellSpec
+
+
+def execute_cell(spec: CellSpec) -> SimResult:
+    """Run one cell from scratch (module-level so workers can pickle it)."""
+    return run_benchmark(
+        spec.build_config(),
+        spec.benchmark,
+        instructions=spec.instructions,
+        warmup=spec.warmup,
+        seed=spec.seed,
+    )
+
+
+def _timed_execute(spec: CellSpec) -> Tuple[SimResult, float]:
+    start = time.perf_counter()
+    result = execute_cell(spec)
+    return result, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """How one cell of a sweep was satisfied."""
+
+    spec: CellSpec
+    result: Optional[SimResult]
+    elapsed_s: float
+    #: ``"run"``, ``"cached"`` or ``"failed"``.
+    source: str
+    error: Optional[str] = None
+
+
+@dataclass
+class SweepReport:
+    """Everything one sweep produced, plus its cost accounting."""
+
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    jobs: int = 1
+    elapsed_s: float = 0.0
+
+    @property
+    def results(self) -> Dict[CellSpec, SimResult]:
+        """Successful results keyed by normalized :class:`CellSpec`."""
+        return {
+            outcome.spec: outcome.result
+            for outcome in self.outcomes
+            if outcome.result is not None
+        }
+
+    def _by_source(self, source: str) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.source == source]
+
+    @property
+    def ran(self) -> List[CellOutcome]:
+        return self._by_source("run")
+
+    @property
+    def cached(self) -> List[CellOutcome]:
+        return self._by_source("cached")
+
+    @property
+    def failed(self) -> List[CellOutcome]:
+        return self._by_source("failed")
+
+    def summary(self) -> str:
+        """Multi-line sweep accounting for the end of a CLI run."""
+        ran, cached, failed = self.ran, self.cached, self.failed
+        lines = [
+            f"sweep: {len(self.outcomes)} cells — {len(ran)} run, "
+            f"{len(cached)} cached, {len(failed)} failed "
+            f"in {self.elapsed_s:.1f}s wall ({self.jobs} jobs)"
+        ]
+        if ran:
+            cell_time = sum(o.elapsed_s for o in ran)
+            lines.append(
+                f"  simulated {cell_time:.1f}s of cell work "
+                f"({cell_time / len(ran):.2f}s/cell avg, "
+                f"{max(o.elapsed_s for o in ran):.2f}s max)"
+            )
+        if failed:
+            for outcome in failed:
+                lines.append(f"  FAILED {outcome.spec.label()}: {outcome.error}")
+        return "\n".join(lines)
+
+
+ProgressFn = Callable[[CellOutcome], None]
+
+
+def run_cells(
+    cells: Iterable[CellSpec],
+    jobs: int = 1,
+    cache: Optional[DiskCellCache] = None,
+    fresh: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> SweepReport:
+    """Run a sweep; see module docstring for the exact flow.
+
+    ``cache=None`` disables the disk cache entirely; ``fresh=True`` keeps
+    the cache but ignores existing entries (recomputing and overwriting
+    them).  Duplicate cells (figures share rows) are computed once.
+    """
+    started = time.perf_counter()
+    unique: List[CellSpec] = []
+    seen = set()
+    for cell in cells:
+        spec = cell.normalized()
+        if spec not in seen:
+            seen.add(spec)
+            unique.append(spec)
+
+    fingerprints = {spec: cell_fingerprint(spec) for spec in unique}
+    outcomes: Dict[CellSpec, CellOutcome] = {}
+    pending: List[CellSpec] = []
+
+    for spec in unique:
+        cached = None
+        if cache is not None and not fresh:
+            cached = cache.get(fingerprints[spec])
+        if cached is not None:
+            outcome = CellOutcome(spec, cached, 0.0, "cached")
+            outcomes[spec] = outcome
+            if progress is not None:
+                progress(outcome)
+        else:
+            pending.append(spec)
+
+    def record(spec: CellSpec, result: Optional[SimResult], elapsed: float,
+               error: Optional[str] = None) -> None:
+        source = "failed" if result is None else "run"
+        outcome = CellOutcome(spec, result, elapsed, source, error)
+        outcomes[spec] = outcome
+        if result is not None and cache is not None:
+            cache.put(fingerprints[spec], spec, result, elapsed)
+        if progress is not None:
+            progress(outcome)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for spec in pending:
+            try:
+                result, elapsed = _timed_execute(spec)
+            except Exception as error:  # noqa: BLE001 - cell isolation
+                record(spec, None, 0.0, f"{type(error).__name__}: {error}")
+            else:
+                record(spec, result, elapsed)
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(_timed_execute, spec): spec
+                       for spec in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = futures[future]
+                    try:
+                        result, elapsed = future.result()
+                    except Exception as error:  # noqa: BLE001 - cell isolation
+                        record(spec, None, 0.0,
+                               f"{type(error).__name__}: {error}")
+                    else:
+                        record(spec, result, elapsed)
+
+    ordered = [outcomes[spec] for spec in unique]
+    return SweepReport(
+        outcomes=ordered,
+        jobs=max(1, jobs),
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def results_grid(
+    report: SweepReport,
+    variant_params: Sequence[str] = (),
+) -> Dict[Tuple, SimResult]:
+    """Re-key a report as ``(benchmark, scheme, variant...) -> SimResult``.
+
+    ``variant_params`` names the :class:`CellSpec` fields that distinguish
+    machine variants in this sweep (e.g. ``("l2_size", "l2_block")`` for
+    Figure 3); the returned keys carry those values in order.
+    """
+    grid: Dict[Tuple, SimResult] = {}
+    for spec, result in report.results.items():
+        variant = tuple(getattr(spec, param) for param in variant_params)
+        grid[(spec.benchmark, spec.scheme.value) + variant] = result
+    return grid

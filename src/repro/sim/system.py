@@ -8,13 +8,14 @@ instruction stream before measuring).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from itertools import islice
+from typing import Optional, Sequence
 
 from ..cache.hierarchy import DEFAULT_PROTECTED_BYTES, MemoryHierarchy
 from ..common.config import SystemConfig
 from ..cpu.isa import Instruction
 from ..cpu.ooo import OutOfOrderCore
-from ..workloads.generators import WorkloadProfile, generate_list
+from ..workloads.generators import WorkloadProfile, generate_instructions
 from ..workloads.spec import SPEC_PROFILES
 from .results import SimResult
 
@@ -72,11 +73,14 @@ def run_benchmark(
     system = SimulatedSystem(config, protected_bytes)
     if needs_presweep:
         _presweep_stream(system, profile)
-    stream: List[Instruction] = generate_list(profile, warmup + instructions, seed)
+    # Stream the warm-up prefix straight from the generator: the prefix can
+    # run to millions of instructions for large L2s, so it is never
+    # materialized — only the measured suffix becomes a list for the core.
+    stream = generate_instructions(profile, warmup + instructions, seed)
     if warmup:
-        system.hierarchy.warm(stream[:warmup])
+        system.hierarchy.warm(islice(stream, warmup))
         _reset_counters(system)
-    return system.run(stream[warmup:], benchmark=benchmark)
+    return system.run(list(stream), benchmark=benchmark)
 
 
 def _presweep_stream(system: SimulatedSystem, profile: WorkloadProfile) -> None:
@@ -90,22 +94,20 @@ def _presweep_stream(system: SimulatedSystem, profile: WorkloadProfile) -> None:
     stream's blocks are stored, through the ordinary (scheme-aware) paths.
     """
     hierarchy = system.hierarchy
-    hierarchy.memory.timing_enabled = False
-    hierarchy.engine.timing_enabled = False
+    hierarchy.set_warm_mode(True)
     try:
         base = profile.code_bytes
         half = profile.footprint_bytes // 2
         writes_blocks = profile.store_fraction > 0
+        load, store = hierarchy.load, hierarchy.store
+        full_block = bool(profile.stream_store_fraction)
         for offset in range(0, profile.footprint_bytes, 64):
-            hierarchy.load(base + offset, 0)
+            load(base + offset, 0)
             if writes_blocks:
-                hierarchy.store(
-                    base + (offset + half) % profile.footprint_bytes, 0,
-                    full_block=bool(profile.stream_store_fraction),
-                )
+                store(base + (offset + half) % profile.footprint_bytes, 0,
+                      full_block=full_block)
     finally:
-        hierarchy.memory.timing_enabled = True
-        hierarchy.engine.timing_enabled = True
+        hierarchy.set_warm_mode(False)
 
 
 def _reset_counters(system: SimulatedSystem) -> None:

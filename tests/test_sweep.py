@@ -1,0 +1,318 @@
+"""The sweep engine: cells, fingerprints, disk cache, parallel runner.
+
+Every test here runs tiny cells (hundreds of instructions, short warm-up)
+so the whole file is a fast smoke path through the real engine — cold run,
+cache write, warm run, parallel fan-out — on every pytest invocation.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common import KB, MB, SchemeKind, SystemConfig
+from repro.sim.sweep import (
+    CACHE_SCHEMA_VERSION,
+    CELL_PARAMS,
+    CellSpec,
+    DiskCellCache,
+    cell_fingerprint,
+    cell_param_defaults,
+    config_from_dict,
+    config_to_dict,
+    execute_cell,
+    figure_cells,
+    result_from_dict,
+    result_to_dict,
+    results_grid,
+    run_cells,
+)
+
+# small enough that a cell takes tens of milliseconds
+TINY = dict(instructions=400, warmup=300)
+
+
+def tiny(benchmark="gzip", scheme=SchemeKind.CHASH, **overrides):
+    params = {**TINY, **overrides}
+    return CellSpec(benchmark, scheme, **params)
+
+
+def assert_same_result(a, b):
+    assert a.cycles == b.cycles
+    assert a.stats == b.stats
+    assert a.instructions == b.instructions
+    assert a.benchmark == b.benchmark
+    assert a.scheme == b.scheme
+
+
+# --------------------------------------------------------------------------
+# CellSpec normalization — the shared defaults table
+# --------------------------------------------------------------------------
+
+class TestNormalization:
+    def test_defaults_table_matches_config(self):
+        base = SystemConfig()
+        defaults = cell_param_defaults()
+        assert defaults["l2_size"] == base.l2.size_bytes
+        assert defaults["l2_block"] == base.l2.block_bytes
+        assert defaults["hash_throughput"] == base.hash_engine.throughput_gb_per_s
+        assert defaults["buffer_entries"] == base.hash_engine.read_buffer_entries
+        assert defaults["blocks_per_chunk"] == base.blocks_per_chunk
+        assert defaults["write_allocate_valid_bits"] == base.write_allocate_valid_bits
+        assert set(defaults) == set(CELL_PARAMS)
+
+    @pytest.mark.parametrize("param", CELL_PARAMS)
+    def test_explicit_default_collapses_for_every_param(self, param):
+        # the old benchmark-harness normalization only covered three of the
+        # six parameters; the shared table must cover them all
+        value = cell_param_defaults()[param]
+        spec = tiny(**{param: value})
+        assert spec.normalized() == tiny()
+        assert spec.key() == tiny().key()
+
+    def test_false_valued_default_would_collapse_symmetrically(self):
+        # regression guard for the `is True` asymmetry: normalization must
+        # key off the *table*, not a hard-coded truthy sentinel
+        default = cell_param_defaults()["write_allocate_valid_bits"]
+        spec = tiny(write_allocate_valid_bits=default)
+        assert spec.normalized().write_allocate_valid_bits is None
+        other = tiny(write_allocate_valid_bits=not default)
+        assert other.normalized().write_allocate_valid_bits == (not default)
+
+    def test_non_default_values_survive(self):
+        spec = tiny(l2_size=256 * KB, blocks_per_chunk=4)
+        normalized = spec.normalized()
+        assert normalized.l2_size == 256 * KB
+        assert normalized.blocks_per_chunk == 4
+
+    def test_build_config_equal_for_equivalent_spellings(self):
+        explicit = tiny(l2_size=cell_param_defaults()["l2_size"])
+        assert explicit.build_config() == tiny().build_config()
+
+    def test_label_is_compact(self):
+        spec = tiny(l2_size=256 * KB, l2_block=128)
+        assert spec.label() == "gzip/chash/l2=256K/blk=128"
+
+
+# --------------------------------------------------------------------------
+# fingerprints
+# --------------------------------------------------------------------------
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert cell_fingerprint(tiny()) == cell_fingerprint(tiny())
+
+    def test_equivalent_spellings_hash_identically(self):
+        defaults = cell_param_defaults()
+        explicit = tiny(l2_size=defaults["l2_size"],
+                        hash_throughput=defaults["hash_throughput"])
+        assert cell_fingerprint(explicit) == cell_fingerprint(tiny())
+
+    @pytest.mark.parametrize("change", [
+        dict(benchmark="twolf"),
+        dict(scheme=SchemeKind.BASE),
+        dict(l2_size=256 * KB),
+        dict(l2_block=128),
+        dict(hash_throughput=0.8),
+        dict(buffer_entries=4),
+        dict(blocks_per_chunk=4),
+        dict(write_allocate_valid_bits=False),
+        dict(instructions=401),
+        dict(warmup=301),
+        dict(seed=1),
+    ])
+    def test_any_parameter_change_changes_fingerprint(self, change):
+        base = tiny()
+        benchmark = change.pop("benchmark", base.benchmark)
+        scheme = change.pop("scheme", base.scheme)
+        changed = dataclasses.replace(
+            base, benchmark=benchmark, scheme=scheme, **change
+        )
+        assert cell_fingerprint(changed) != cell_fingerprint(base)
+
+    def test_config_roundtrips_through_dict(self):
+        config = tiny(l2_size=256 * KB, blocks_per_chunk=2,
+                      scheme=SchemeKind.MHASH).build_config()
+        assert config_from_dict(config_to_dict(config)) == config
+
+
+# --------------------------------------------------------------------------
+# the disk cache
+# --------------------------------------------------------------------------
+
+class TestDiskCache:
+    def test_roundtrip_returns_equal_result(self, tmp_path):
+        cache = DiskCellCache(tmp_path)
+        spec = tiny()
+        result = execute_cell(spec)
+        fingerprint = cell_fingerprint(spec)
+        cache.put(fingerprint, spec, result, 0.05)
+        restored = cache.get(fingerprint)
+        assert_same_result(restored, result)
+        assert restored.config == result.config
+        assert cache.hits == 1 and len(cache) == 1
+
+    def test_result_serialization_roundtrip(self):
+        result = execute_cell(tiny())
+        assert_same_result(result_from_dict(result_to_dict(result)), result)
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        cache = DiskCellCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_logged_miss(self, tmp_path, caplog):
+        cache = DiskCellCache(tmp_path)
+        fingerprint = cell_fingerprint(tiny())
+        cache.path_for(fingerprint).parent.mkdir(exist_ok=True)
+        cache.path_for(fingerprint).write_text("{not json at all")
+        with caplog.at_level("WARNING"):
+            assert cache.get(fingerprint) is None
+        assert "unreadable cache entry" in caplog.text
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = DiskCellCache(tmp_path)
+        spec = tiny()
+        fingerprint = cell_fingerprint(spec)
+        cache.put(fingerprint, spec, execute_cell(spec), 0.0)
+        path = cache.path_for(fingerprint)
+        path.write_text(path.read_text()[: 40])
+        assert cache.get(fingerprint) is None
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        cache = DiskCellCache(tmp_path)
+        spec = tiny()
+        fingerprint = cell_fingerprint(spec)
+        cache.put(fingerprint, spec, execute_cell(spec), 0.0)
+        path = cache.path_for(fingerprint)
+        entry = json.loads(path.read_text())
+        entry["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert cache.get(fingerprint) is None
+
+    def test_embedded_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        cache = DiskCellCache(tmp_path)
+        spec = tiny()
+        fingerprint = cell_fingerprint(spec)
+        cache.put(fingerprint, spec, execute_cell(spec), 0.0)
+        other = "f" * 64
+        cache.path_for(fingerprint).rename(cache.path_for(other))
+        assert cache.get(other) is None
+
+
+# --------------------------------------------------------------------------
+# the runner — the engine's fast smoke path, exercised on every test run
+# --------------------------------------------------------------------------
+
+class TestRunner:
+    CELLS = [
+        tiny("gzip", SchemeKind.BASE),
+        tiny("gzip", SchemeKind.CHASH),
+        tiny("twolf", SchemeKind.CHASH, l2_size=256 * KB),
+    ]
+
+    def test_cold_then_warm_sweep(self, tmp_path):
+        cache = DiskCellCache(tmp_path)
+        cold = run_cells(self.CELLS, cache=cache)
+        assert len(cold.ran) == 3 and not cold.cached and not cold.failed
+        warm = run_cells(self.CELLS, cache=cache)
+        assert len(warm.cached) == 3 and not warm.ran
+        for spec in cold.results:
+            assert_same_result(warm.results[spec], cold.results[spec])
+        assert "3 cached" in warm.summary()
+
+    def test_fresh_bypasses_reads_but_overwrites(self, tmp_path):
+        cache = DiskCellCache(tmp_path)
+        run_cells(self.CELLS, cache=cache)
+        fresh = run_cells(self.CELLS, cache=cache, fresh=True)
+        assert len(fresh.ran) == 3 and not fresh.cached
+        warm = run_cells(self.CELLS, cache=cache)
+        assert len(warm.cached) == 3
+
+    def test_no_cache_runs_everything(self, tmp_path):
+        report = run_cells(self.CELLS, cache=None)
+        assert len(report.ran) == 3
+        assert not list(tmp_path.iterdir())
+
+    def test_duplicate_and_equivalent_cells_run_once(self):
+        default_l2 = cell_param_defaults()["l2_size"]
+        cells = [tiny(), tiny(), tiny(l2_size=default_l2)]
+        report = run_cells(cells)
+        assert len(report.outcomes) == 1
+
+    def test_parallel_matches_sequential_bit_for_bit(self):
+        sequential = run_cells(self.CELLS, jobs=1)
+        parallel = run_cells(self.CELLS, jobs=4)
+        assert sequential.results.keys() == parallel.results.keys()
+        for spec in sequential.results:
+            assert_same_result(parallel.results[spec],
+                               sequential.results[spec])
+
+    def test_failed_cell_is_isolated(self, tmp_path):
+        cache = DiskCellCache(tmp_path)
+        cells = [tiny(), tiny(benchmark="no-such-benchmark")]
+        report = run_cells(cells, cache=cache)
+        assert len(report.ran) == 1
+        assert len(report.failed) == 1
+        assert report.failed[0].error
+        assert "FAILED" in report.summary()
+        # the failure is not cached
+        assert len(cache) == 1
+
+    def test_progress_callback_sees_every_cell(self):
+        seen = []
+        run_cells(self.CELLS, progress=lambda outcome: seen.append(outcome))
+        assert len(seen) == 3
+
+    def test_results_grid_keys(self):
+        report = run_cells(self.CELLS)
+        grid = results_grid(report, variant_params=("l2_size",))
+        assert ("gzip", "base", None) in grid
+        assert ("twolf", "chash", 256 * KB) in grid
+
+
+# --------------------------------------------------------------------------
+# figure grids
+# --------------------------------------------------------------------------
+
+class TestFigures:
+    def test_fig3_shape(self):
+        cells = figure_cells("fig3", benchmarks=["gzip"])
+        assert len(cells) == 3 * 2 * 3  # sizes x blocks x schemes
+        assert all(cell.benchmark == "gzip" for cell in cells)
+
+    def test_full_grid_counts(self):
+        # 9 benchmarks each: fig3=18, fig4=4, fig5=3, fig6=4, fig7=6, fig8=5
+        for figure, per_bench in [("fig3", 18), ("fig4", 4), ("fig5", 3),
+                                  ("fig6", 4), ("fig7", 6), ("fig8", 5)]:
+            assert len(figure_cells(figure)) == per_bench * 9, figure
+
+    def test_figures_share_cells_after_dedupe(self):
+        cells = figure_cells("all", benchmarks=["gzip"])
+        unique = {cell.normalized() for cell in cells}
+        # fig4 and fig5 are pure fig3 subsets; fig6/7/8 share their 1MB
+        # chash column with fig3
+        assert len(unique) < len(cells)
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            figure_cells("fig99")
+
+
+# --------------------------------------------------------------------------
+# CLI
+# --------------------------------------------------------------------------
+
+class TestCli:
+    def test_sweep_command(self, tmp_path, capsys):
+        from repro.__main__ import main
+        argv = ["sweep", "--figure", "fig5", "--benchmarks", "gzip",
+                "--instructions", "400", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fig5: IPC" in out
+        assert "3 run, 0 cached" in out
+        # warm re-run hits the cache for every cell
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 run, 3 cached" in out
