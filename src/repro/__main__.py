@@ -140,11 +140,18 @@ def _cmd_sweep(args) -> int:
             print(f"  [cached       ] {outcome.spec.label()}")
         elif outcome.source == "failed":
             print(f"  [FAILED       ] {outcome.spec.label()}: {outcome.error}")
+        elif outcome.warm_s or outcome.measure_s:
+            # warm column is the shared group warm-up, charged to the cell
+            # that performed it; snapshot reusers show warm 0.00s
+            print(f"  [run {outcome.elapsed_s:7.2f}s "
+                  f"(warm {outcome.warm_s:6.2f}s + "
+                  f"measure {outcome.measure_s:6.2f}s)] "
+                  f"{outcome.spec.label()}")
         else:
             print(f"  [run {outcome.elapsed_s:7.2f}s ] {outcome.spec.label()}")
 
     report = run_cells(cells, jobs=args.jobs, cache=cache, fresh=args.fresh,
-                       progress=progress)
+                       progress=progress, share_warm=not args.no_warm_share)
     print()
     print(sweep_ipc_table(report, title=f"{args.figure}: IPC"))
     print()
@@ -197,6 +204,9 @@ def main(argv=None) -> int:
                        help="disable the on-disk result cache entirely")
     sweep.add_argument("--fresh", action="store_true",
                        help="ignore cached results but store new ones")
+    sweep.add_argument("--no-warm-share", action="store_true",
+                       help="warm every cell from scratch instead of "
+                            "sharing warm-state snapshots per warm key")
     sweep.add_argument("--cache-dir", default=None,
                        help="cache root (default: .repro_cache)")
 

@@ -126,6 +126,57 @@ class CacheSim:
         counters[keys[3]] = get(keys[3], 0) + 1
         return _MISS
 
+    def warm_access(self, address: int, write: bool = False) -> bool:
+        """Counter-free :meth:`access` for functional warm-up.
+
+        Evolves tag/LRU/dirty state exactly like :meth:`access` (warm-up
+        counters are diverted to scratch and discarded anyway, so skipping
+        them is free) and returns only the hit/miss verdict.
+        """
+        offset_bits = self._offset_bits
+        block = (address >> offset_bits) << offset_bits
+        ways = self._sets[(block >> offset_bits) % self._n_sets]
+        if block in ways:
+            if self._lru and ways[0] != block:
+                ways.remove(block)
+                ways.insert(0, block)
+            if write:
+                self._dirty.add(block)
+            return True
+        return False
+
+    def warm_fill(self, address: int, dirty: bool = False) -> FillResult:
+        """Counter-free :meth:`fill` for functional warm-up.
+
+        State evolution — including the victim RNG draw under the
+        ``random`` policy — is identical to :meth:`fill`.
+        """
+        offset_bits = self._offset_bits
+        block = (address >> offset_bits) << offset_bits
+        ways = self._sets[(block >> offset_bits) % self._n_sets]
+        if block in ways:  # racing fill (e.g. two misses to one block)
+            if ways[0] != block:
+                ways.remove(block)
+                ways.insert(0, block)
+            if dirty:
+                self._dirty.add(block)
+            return _NO_VICTIM
+        victim_address = None
+        victim_dirty = False
+        if len(ways) >= self.config.associativity:
+            if self.policy == "random":
+                victim_address = ways.pop(self._rng.randrange(len(ways)))
+            else:  # lru and fifo both evict from the tail
+                victim_address = ways.pop()
+            victim_dirty = victim_address in self._dirty
+            self._dirty.discard(victim_address)
+        ways.insert(0, block)
+        if dirty:
+            self._dirty.add(block)
+        if victim_address is None:
+            return _NO_VICTIM
+        return FillResult(victim_address, victim_dirty)
+
     def probe(self, address: int) -> bool:
         """Presence test with no LRU/stat side effects."""
         block = self.block_address(address)
@@ -182,6 +233,29 @@ class CacheSim:
 
     def mark_clean(self, address: int) -> None:
         self._dirty.discard(self.block_address(address))
+
+    # -- snapshot / restore -----------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Full mutable state (tags, LRU order, dirty bits, victim RNG,
+        counters), deep-copied so later accesses cannot alias it."""
+        return (
+            [list(ways) for ways in self._sets],
+            set(self._dirty),
+            self._rng.getstate(),
+            dict(self.stats.counters),
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Restore a :meth:`snapshot`; the snapshot remains reusable."""
+        sets, dirty, rng_state, counters = snap
+        self._sets = [list(ways) for ways in sets]
+        self._dirty = set(dirty)
+        self._rng.setstate(rng_state)
+        # mutate the counter dict in place: hot paths bind it once
+        live = self.stats.counters
+        live.clear()
+        live.update(counters)
 
     # -- metrics -------------------------------------------------------------------
 

@@ -23,11 +23,12 @@ from typing import Optional, Tuple
 
 from ..common.config import SchemeKind, SystemConfig
 from ..common.stats import StatGroup, merge_groups
-from ..common.units import GB
+from ..common.units import GB, log2_exact
 from ..dram.bus import MainMemoryTiming
 from ..hashengine.engine import HashEngineTiming
 from ..hashtree.layout import TreeLayout
 from ..schemes import build_scheme
+from ..common.packed import WARM_IFETCH, WARM_LOAD, WARM_STORE_FULL
 from .cache import CacheSim
 from .tlb import TLBSim
 
@@ -60,6 +61,8 @@ class MemoryHierarchy:
         self.stats = StatGroup("hierarchy")
         self._l1_latency = config.l1d.latency_cycles
         self._l2_latency = config.l2.latency_cycles
+        #: warm-up instruction-fetch dedup granularity: one probe per L1-I line.
+        self._iline_shift = log2_exact(config.l1i.block_bytes)
 
     # -- core-facing operations ------------------------------------------------------
 
@@ -120,7 +123,7 @@ class MemoryHierarchy:
         lookup = self.l2.access(physical, write=True, kind="data")
         if not lookup.hit:
             # valid-bit allocation: no fetch, no check (Section 5.3)
-            self.scheme._fill_l2(physical, now, dirty=True, kind="data")
+            self.scheme.fill_l2(physical, now, dirty=True, kind="data")
         self._fill_l1(self.l1d, physical, dirty=True, now=now)
         done = now + self._l1_latency
         return done, done
@@ -161,10 +164,11 @@ class MemoryHierarchy:
         """
         self.set_warm_mode(True)
         ifetch, load, store = self.ifetch, self.load, self.store
+        iline_shift = self._iline_shift
         try:
             last_line = -1
             for instruction in instructions:
-                line = instruction.pc >> 5
+                line = instruction.pc >> iline_shift
                 if line != last_line:
                     ifetch(instruction.pc, 0)
                     last_line = line
@@ -176,6 +180,117 @@ class MemoryHierarchy:
                           full_block=instruction.full_block)
         finally:
             self.set_warm_mode(False)
+
+    def warm_packed(self, chunks) -> None:
+        """Replay packed warm-up chunks with timing disabled.
+
+        ``chunks`` is an iterable of ``(codes, values)`` column pairs from
+        :meth:`InstructionStream.packed
+        <repro.workloads.generators.InstructionStream.packed>` generated
+        with ``line_bytes=config.l1i.block_bytes``.  This consumes one row
+        per *memory event* — the generator already performed the
+        one-probe-per-I-line dedup that :meth:`warm` does inline — and
+        drives the same TLB/L1/L2/scheme state transitions through
+        counter-free fast paths, so the end state is bit-identical to
+        :meth:`warm` over the equivalent object stream while allocating no
+        :class:`Instruction` objects at all.
+        """
+        self.set_warm_mode(True)
+        l1i_warm = self.l1i.warm_access
+        l1d_warm = self.l1d.warm_access
+        itlb_warm = self.itlb.warm_access
+        dtlb_warm = self.dtlb.warm_access
+        data_address = self.scheme.data_address
+        warm_l1_miss = self._warm_l1_miss
+        valid_bits = self.config.write_allocate_valid_bits
+        l1i, l1d = self.l1i, self.l1d
+        try:
+            for codes, values in chunks:
+                for code, value in zip(codes, values):
+                    if code == WARM_IFETCH:
+                        itlb_warm(value)
+                        physical = data_address(value)
+                        if not l1i_warm(physical, False):
+                            warm_l1_miss(physical, False, "instr", l1i)
+                    elif code == WARM_LOAD:
+                        dtlb_warm(value)
+                        physical = data_address(value)
+                        if not l1d_warm(physical, False):
+                            warm_l1_miss(physical, False, "data", l1d)
+                    else:  # WARM_STORE or WARM_STORE_FULL
+                        dtlb_warm(value)
+                        physical = data_address(value)
+                        if not l1d_warm(physical, True):
+                            if code == WARM_STORE_FULL and valid_bits:
+                                self._warm_full_block_store_miss(physical)
+                            else:
+                                warm_l1_miss(physical, True, "data", l1d)
+        finally:
+            self.set_warm_mode(False)
+
+    def _warm_l1_miss(self, physical: int, write: bool, kind: str,
+                      l1: CacheSim) -> None:
+        """Counter-free mirror of :meth:`_l1_miss` (timing already off)."""
+        if not self.l2.warm_access(physical, False):
+            self.scheme.handle_data_miss(physical, 0, write=False)
+        self._warm_fill_l1(l1, physical, write)
+
+    def _warm_full_block_store_miss(self, physical: int) -> None:
+        """Counter-free mirror of :meth:`_full_block_store_miss`."""
+        self.stats.add("full_block_store_allocations")
+        if not self.l2.warm_access(physical, True):
+            self.scheme.fill_l2(physical, 0, dirty=True, kind="data")
+        self._warm_fill_l1(self.l1d, physical, True)
+
+    def _warm_fill_l1(self, l1: CacheSim, physical: int, dirty: bool) -> None:
+        result = l1.warm_fill(physical, dirty=dirty)
+        if result.victim_address is not None and result.victim_dirty:
+            self.stats.add("l1_writebacks")
+            if not self.l2.warm_access(result.victim_address, True):
+                self.stats.add("l1_writeback_l2_misses")
+                self.scheme.handle_data_miss(result.victim_address, 0,
+                                             write=True)
+
+    # -- snapshot / restore ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything a measured run's outcome depends on, deep-copied.
+
+        Captures the functional warm state (cache tags/LRU/dirty, TLB
+        entries, scheme state) *and* every statistics group plus the
+        bus/engine busy-until state — the latter matter for the
+        ``warmup=0`` path, where pre-sweep statistics legitimately leak
+        into the measured run and must be reproduced bit for bit.
+        """
+        return {
+            "l1i": self.l1i.snapshot(),
+            "l1d": self.l1d.snapshot(),
+            "l2": self.l2.snapshot(),
+            "itlb": self.itlb.snapshot(),
+            "dtlb": self.dtlb.snapshot(),
+            "memory": self.memory.snapshot(),
+            "engine": self.engine.snapshot(),
+            "scheme": self.scheme.snapshot_state(),
+            "stats": dict(self.stats.counters),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot`, possibly taken on a *different*
+        hierarchy instance — the warm-sharing contract is that both configs
+        agree on every field :func:`~repro.sim.sweep.fingerprint.warm_fingerprint`
+        covers (geometry, scheme, workload), while pure timing parameters
+        (bus width, hash latency/throughput, buffer depth) may differ."""
+        self.l1i.restore(snap["l1i"])
+        self.l1d.restore(snap["l1d"])
+        self.l2.restore(snap["l2"])
+        self.itlb.restore(snap["itlb"])
+        self.dtlb.restore(snap["dtlb"])
+        self.memory.restore(snap["memory"])
+        self.engine.restore(snap["engine"])
+        self.scheme.restore_state(snap["scheme"])
+        live = self.stats.counters
+        live.clear()
+        live.update(snap["stats"])
 
     # -- reporting ------------------------------------------------------------------------
 

@@ -41,10 +41,38 @@ class TLBSim:
         ways.insert(0, page)
         return self._miss_penalty
 
+    def warm_access(self, address: int) -> None:
+        """Counter-free :meth:`access` for functional warm-up: identical
+        set/LRU evolution, no latency computed, no statistics."""
+        page = address >> self._page_bits
+        ways = self._sets[page % self._n_sets]
+        if page in ways:
+            if ways[0] != page:
+                ways.remove(page)
+                ways.insert(0, page)
+            return
+        if len(ways) >= self._associativity:
+            ways.pop()
+        ways.insert(0, page)
+
     def divert_counters(self, divert: bool) -> None:
         """Send counter updates to a scratch dict (for warm-up phases whose
         statistics are reset anyway) or back to the real :attr:`stats`."""
         self._counters = {} if divert else self.stats.counters
+
+    # -- snapshot / restore -----------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Full mutable state (translations in LRU order, counters)."""
+        return ([list(ways) for ways in self._sets], dict(self.stats.counters))
+
+    def restore(self, snap: tuple) -> None:
+        """Restore a :meth:`snapshot`; the snapshot remains reusable."""
+        sets, counters = snap
+        self._sets = [list(ways) for ways in sets]
+        live = self.stats.counters
+        live.clear()
+        live.update(counters)
 
     @property
     def miss_rate(self) -> float:

@@ -1,0 +1,39 @@
+"""Packed warm-up trace row encoding.
+
+The wire format between the workload generator (producer,
+:meth:`InstructionStream.packed <repro.workloads.generators.InstructionStream.packed>`)
+and the memory hierarchy (consumer,
+:meth:`MemoryHierarchy.warm_packed <repro.cache.hierarchy.MemoryHierarchy.warm_packed>`).
+It lives here, below both, so neither side has to import the other.
+
+A chunk is a pair of parallel ``array`` columns ``(codes, values)``:
+``codes`` (``'B'``) holds one kind code per row, ``values`` (``'Q'``) the
+row's address.  A row is one *memory event* of the warm-up replay, not one
+instruction: instruction-fetch rows appear only when the stream crosses
+into a new I-cache line (the same dedup the object-stream warm-up loop
+applies), and non-memory instructions that stay within a line emit
+nothing.
+"""
+
+from __future__ import annotations
+
+#: Instruction fetch entering a new I-cache line; value is the pc.
+WARM_IFETCH = 0
+#: Data load; value is the load address.
+WARM_LOAD = 1
+#: Data store; value is the store address.
+WARM_STORE = 2
+#: Data store carrying the §5.3 full-block mark; value is the store address.
+WARM_STORE_FULL = 3
+
+#: Instructions per packed chunk: large enough to amortize per-chunk
+#: overhead, small enough that a chunk's columns stay cache-resident.
+PACKED_CHUNK_INSTRUCTIONS = 32_768
+
+__all__ = [
+    "WARM_IFETCH",
+    "WARM_LOAD",
+    "WARM_STORE",
+    "WARM_STORE_FULL",
+    "PACKED_CHUNK_INSTRUCTIONS",
+]

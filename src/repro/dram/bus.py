@@ -79,6 +79,19 @@ class MainMemoryTiming:
         self.stats.add("bytes_total", n_bytes)
         return self._grant(now, n_bytes)
 
+    # -- snapshot / restore -----------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Busy-until state plus counters (warm-up leaves both untouched,
+        but a snapshot must also cover presweeps taken with timing on)."""
+        return (self._data_bus_free_at, dict(self.stats.counters))
+
+    def restore(self, snap: tuple) -> None:
+        self._data_bus_free_at, counters = snap
+        live = self.stats.counters
+        live.clear()
+        live.update(counters)
+
     @property
     def bus_free_at(self) -> int:
         return self._data_bus_free_at

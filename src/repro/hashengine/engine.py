@@ -45,6 +45,28 @@ class _BufferPool:
     def earliest_free(self) -> int:
         return min(self._free_at)
 
+    def snapshot(self) -> tuple:
+        return tuple(self._free_at)
+
+    def restore(self, saved: tuple) -> None:
+        """Restore a :meth:`snapshot`.
+
+        A *pristine* snapshot (all slots free at 0 — which is what any
+        functional warm-up leaves behind, since timing is disabled) may be
+        restored into a pool of a different depth; that is what lets warm
+        state be shared across cells that sweep the buffer size.  A busy
+        snapshot must match the pool's depth exactly.
+        """
+        if len(saved) == len(self._free_at):
+            self._free_at = list(saved)
+        elif any(saved):
+            raise ValueError(
+                f"cannot restore a busy {len(saved)}-entry buffer snapshot "
+                f"into a {len(self._free_at)}-entry pool"
+            )
+        else:
+            self._free_at = [0] * len(self._free_at)
+
 
 class HashEngineTiming:
     """Pipelined hash unit with read/write buffers."""
@@ -75,6 +97,25 @@ class HashEngineTiming:
         self.stats.add("hashed_bytes", n_bytes)
         self.stats.add("pipe_busy_cycles", occupancy)
         return start + self.config.latency_cycles + occupancy
+
+    # -- snapshot / restore -----------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Pipeline/buffer busy-until state plus counters."""
+        return (
+            self._pipe_free_at,
+            self._read_buffers.snapshot(),
+            self._write_buffers.snapshot(),
+            dict(self.stats.counters),
+        )
+
+    def restore(self, snap: tuple) -> None:
+        self._pipe_free_at, read_free, write_free, counters = snap
+        self._read_buffers.restore(read_free)
+        self._write_buffers.restore(write_free)
+        live = self.stats.counters
+        live.clear()
+        live.update(counters)
 
     # -- buffered operations -------------------------------------------------------
 

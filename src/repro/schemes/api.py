@@ -85,11 +85,29 @@ class TimingScheme:
         """Map a program address into the protected physical segment."""
         return program_address + self._data_offset
 
+    # -- snapshot / restore ------------------------------------------------------------
+
+    def snapshot_state(self) -> tuple:
+        """Scheme-owned mutable state (all five schemes keep only counters;
+        a future stateful scheme overrides both hooks together)."""
+        return (dict(self.stats.counters),)
+
+    def restore_state(self, snap: tuple) -> None:
+        (counters,) = snap
+        live = self.stats.counters
+        live.clear()
+        live.update(counters)
+
     # -- shared helpers ---------------------------------------------------------------
 
-    def _fill_l2(self, address: int, now: int, dirty: bool, kind: str,
-                 depth: int = 0) -> None:
-        """Allocate a block in the L2, writing back the victim if dirty."""
+    def fill_l2(self, address: int, now: int, dirty: bool, kind: str,
+                depth: int = 0) -> None:
+        """Allocate a block in the L2, writing back the victim if dirty.
+
+        Public because the hierarchy's §5.3 valid-bit store-allocate path
+        fills the L2 directly (no fetch, no check) and still needs the
+        scheme's victim-write-back cascade.
+        """
         result = self.l2.fill(address, dirty=dirty, kind=kind)
         if result.victim_address is not None and result.victim_dirty:
             if depth >= MAX_CASCADE_DEPTH:

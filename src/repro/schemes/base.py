@@ -14,7 +14,7 @@ class BaseScheme(TimingScheme):
         self.stats.add("data_misses")
         data_ready, _ = self.memory.read_critical(now, self.block_bytes,
                                                   kind="data")
-        self._fill_l2(address, now, dirty=write, kind="data")
+        self.fill_l2(address, now, dirty=write, kind="data")
         return MissOutcome(data_ready=data_ready, check_done=data_ready)
 
     def handle_writeback(self, victim_address: int, now: int, depth: int = 0) -> None:

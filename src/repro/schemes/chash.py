@@ -21,7 +21,7 @@ class CHashScheme(TimingScheme):
         self.stats.add("data_misses")
         data_ready, check_done = self._fetch_checked(address, now, kind="data",
                                                      depth=0)
-        self._fill_l2(address, now, dirty=write, kind="data")
+        self.fill_l2(address, now, dirty=write, kind="data")
         return MissOutcome(data_ready=data_ready, check_done=check_done)
 
     # -- verification walk -------------------------------------------------------
@@ -71,7 +71,7 @@ class CHashScheme(TimingScheme):
         parent_ready, parent_chain = self._fetch_checked(parent_address, now,
                                                          kind="hash",
                                                          depth=depth + 1)
-        self._fill_l2(parent_address, now, dirty=False, kind="hash",
+        self.fill_l2(parent_address, now, dirty=False, kind="hash",
                       depth=depth + 1)
         return parent_ready, parent_chain
 
@@ -101,4 +101,4 @@ class CHashScheme(TimingScheme):
         parent_address = layout.chunk_address(location.parent_chunk)
         self.stats.add("hash_chunk_reads")
         self._fetch_checked(parent_address, now, kind="hash", depth=depth + 1)
-        self._fill_l2(parent_address, now, dirty=True, kind="hash", depth=depth + 1)
+        self.fill_l2(parent_address, now, dirty=True, kind="hash", depth=depth + 1)

@@ -58,7 +58,7 @@ class MHashScheme(TimingScheme):
                 self.stats.add("data_block_reads")
                 data_ready, ready = self.memory.read_critical(
                     now, self.block_bytes, kind="data")
-                self._fill_l2(block_address, now, dirty=write, kind="data",
+                self.fill_l2(block_address, now, dirty=write, kind="data",
                               depth=depth)
             elif self.l2.probe(block_address) and not self.l2.is_dirty(block_address):
                 # clean in cache: equals memory, no bus traffic
@@ -69,7 +69,7 @@ class MHashScheme(TimingScheme):
                 self.stats.add("chunk_assembly_reads")
                 ready = self.memory.read(now, self.block_bytes, kind="hash")
                 if not self.l2.probe(block_address):
-                    self._fill_l2(block_address, now, dirty=False, kind="data",
+                    self.fill_l2(block_address, now, dirty=False, kind="data",
                                   depth=depth)
             assembled = max(assembled, ready)
         assembled = max(assembled, data_ready)

@@ -23,7 +23,7 @@ class NaiveScheme(TimingScheme):
             start, self.block_bytes, kind="data")
         check_done = self._verify_path(address, full_ready, start)
         self.engine.finish_check(slot, check_done)
-        self._fill_l2(address, now, dirty=write, kind="data")
+        self.fill_l2(address, now, dirty=write, kind="data")
         return MissOutcome(data_ready=data_ready, check_done=check_done)
 
     def _verify_path(self, address: int, data_ready: int, now: int) -> int:

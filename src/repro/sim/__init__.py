@@ -2,12 +2,23 @@
 
 from .results import SimResult
 from .sweep import baseline_of, run_grid
-from .system import SimulatedSystem, run_benchmark
+from .system import (
+    SimulatedSystem,
+    WarmState,
+    default_warmup,
+    prepare_warm_state,
+    run_benchmark,
+    run_from_warm_state,
+)
 
 __all__ = [
     "SimResult",
     "baseline_of",
     "run_grid",
     "SimulatedSystem",
+    "WarmState",
+    "default_warmup",
+    "prepare_warm_state",
     "run_benchmark",
+    "run_from_warm_state",
 ]

@@ -14,12 +14,14 @@ from .fingerprint import (
     cell_fingerprint,
     config_from_dict,
     config_to_dict,
+    warm_fingerprint,
 )
 from .grid import baseline_of, run_grid
 from .runner import (
     CellOutcome,
     SweepReport,
     execute_cell,
+    execute_group,
     results_grid,
     run_cells,
 )
@@ -40,7 +42,9 @@ __all__ = [
     "config_from_dict",
     "config_to_dict",
     "execute_cell",
+    "execute_group",
     "figure_cells",
+    "warm_fingerprint",
     "result_from_dict",
     "result_to_dict",
     "results_grid",

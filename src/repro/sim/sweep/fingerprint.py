@@ -28,6 +28,7 @@ import json
 from typing import Any, Dict, Optional
 
 from ...cache.hierarchy import DEFAULT_PROTECTED_BYTES
+from ..system import default_warmup
 from ...common.config import (
     BusConfig,
     CacheConfig,
@@ -101,6 +102,56 @@ def cell_fingerprint(
         "profile": to_canonical(profile) if profile is not None else None,
         "instructions": spec.instructions,
         "warmup": spec.warmup,
+        "seed": spec.seed,
+        "protected_bytes": protected_bytes,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def warm_fingerprint(
+    spec: CellSpec,
+    protected_bytes: int = DEFAULT_PROTECTED_BYTES,
+    config: Optional[SystemConfig] = None,
+) -> str:
+    """Fingerprint of a cell's *functional warm-up state*.
+
+    Warm-up runs with the bus and hash engine timing-disabled, so its end
+    state — cache tags/LRU/dirty bits, TLB entries, the hash blocks the
+    scheme allocated in the L2 — depends only on:
+
+    * the cache/TLB geometry (which sets exist and how wide they are);
+    * the scheme kind and its tree layout (hash-block placement; ``None``
+      for ``base``, which allocates no tree) plus the §5.3 valid-bit flag
+      and the protected-memory size (tree height);
+    * the workload: benchmark name, its profile, the RNG seed, and the
+      *resolved* warm-up length (``spec.warmup`` or :func:`default_warmup`,
+      which itself depends only on L2 geometry).
+
+    Deliberately excluded: bus/DRAM widths and latencies, hash-engine
+    throughput/latency/buffer depths, and every core parameter — none of
+    them can reach warm-up state.  Cells that differ only in those
+    (fig6/fig7-style timing sweeps) therefore share a warm fingerprint,
+    and the sweep runner warms each such group once.
+    """
+    if config is None:
+        config = spec.build_config()
+    profile = SPEC_PROFILES.get(spec.benchmark)
+    warmup = spec.warmup if spec.warmup is not None else default_warmup(config)
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "scheme": config.scheme.value,
+        "l1i": to_canonical(config.l1i),
+        "l1d": to_canonical(config.l1d),
+        "l2": to_canonical(config.l2),
+        "tlb": to_canonical(config.tlb),
+        "tree": (None if config.scheme is SchemeKind.BASE
+                 else to_canonical(config.tree)),
+        "valid_bits": config.write_allocate_valid_bits,
+        "memory_bytes": config.memory_bytes,
+        "benchmark": spec.benchmark,
+        "profile": to_canonical(profile) if profile is not None else None,
+        "warmup": warmup,
         "seed": spec.seed,
         "protected_bytes": protected_bytes,
     }

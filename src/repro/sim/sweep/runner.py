@@ -23,9 +23,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..results import SimResult
-from ..system import run_benchmark
+from ..system import prepare_warm_state, run_benchmark, run_from_warm_state
 from .diskcache import DiskCellCache
-from .fingerprint import cell_fingerprint
+from .fingerprint import cell_fingerprint, warm_fingerprint
 from .spec import CellSpec
 
 
@@ -46,6 +46,54 @@ def _timed_execute(spec: CellSpec) -> Tuple[SimResult, float]:
     return result, time.perf_counter() - start
 
 
+#: One cell's result inside a group: (spec, result, elapsed, warm, measure, error).
+_GroupRow = Tuple[CellSpec, Optional[SimResult], float, float, float,
+                  Optional[str]]
+
+
+def execute_group(specs: Sequence[CellSpec]) -> List[_GroupRow]:
+    """Run one warm-sharing group (module-level so workers can pickle it).
+
+    Every spec in ``specs`` shares a :func:`warm_fingerprint`, so the
+    group warms **once** (charged to the first cell's ``warm`` column) and
+    every cell measures from a restored copy of that state — bit-identical
+    to warming each cell from scratch.  A warm-up failure fails the whole
+    group; a measurement failure fails only its own cell.
+    """
+    first = specs[0]
+    try:
+        start = time.perf_counter()
+        warm_state = prepare_warm_state(
+            first.build_config(),
+            first.benchmark,
+            warmup=first.warmup,
+            seed=first.seed,
+        )
+        warm_s = time.perf_counter() - start
+    except Exception as error:  # noqa: BLE001 - group isolation
+        message = f"{type(error).__name__}: {error}"
+        return [(spec, None, 0.0, 0.0, 0.0, message) for spec in specs]
+    rows: List[_GroupRow] = []
+    for index, spec in enumerate(specs):
+        cell_warm = warm_s if index == 0 else 0.0
+        try:
+            start = time.perf_counter()
+            result = run_from_warm_state(
+                spec.build_config(),
+                spec.benchmark,
+                warm_state,
+                instructions=spec.instructions,
+            )
+            measure_s = time.perf_counter() - start
+        except Exception as error:  # noqa: BLE001 - cell isolation
+            rows.append((spec, None, 0.0, 0.0, 0.0,
+                         f"{type(error).__name__}: {error}"))
+        else:
+            rows.append((spec, result, cell_warm + measure_s, cell_warm,
+                         measure_s, None))
+    return rows
+
+
 @dataclass(frozen=True)
 class CellOutcome:
     """How one cell of a sweep was satisfied."""
@@ -56,6 +104,11 @@ class CellOutcome:
     #: ``"run"``, ``"cached"`` or ``"failed"``.
     source: str
     error: Optional[str] = None
+    #: Warm-up seconds charged to this cell (the cell that actually warmed
+    #: its group carries the whole group's warm-up; reusers carry 0).
+    warm_s: float = 0.0
+    #: Seconds spent simulating the measured suffix.
+    measure_s: float = 0.0
 
 
 @dataclass
@@ -65,6 +118,9 @@ class SweepReport:
     outcomes: List[CellOutcome] = field(default_factory=list)
     jobs: int = 1
     elapsed_s: float = 0.0
+    #: Warm-sharing groups the pending cells were scheduled into
+    #: (0 when nothing ran or sharing was disabled).
+    warm_groups: int = 0
 
     @property
     def results(self) -> Dict[CellSpec, SimResult]:
@@ -105,6 +161,19 @@ class SweepReport:
                 f"({cell_time / len(ran):.2f}s/cell avg, "
                 f"{max(o.elapsed_s for o in ran):.2f}s max)"
             )
+            warm_time = sum(o.warm_s for o in ran)
+            measure_time = sum(o.measure_s for o in ran)
+            if warm_time or measure_time:
+                split = (
+                    f"  warm-up {warm_time:.1f}s / measure {measure_time:.1f}s"
+                )
+                if self.warm_groups:
+                    split += (
+                        f" ({len(ran)} cells warmed via "
+                        f"{self.warm_groups} shared group"
+                        f"{'s' if self.warm_groups != 1 else ''})"
+                    )
+                lines.append(split)
         if failed:
             for outcome in failed:
                 lines.append(f"  FAILED {outcome.spec.label()}: {outcome.error}")
@@ -114,18 +183,49 @@ class SweepReport:
 ProgressFn = Callable[[CellOutcome], None]
 
 
+def _balance_groups(groups: List[List[CellSpec]],
+                    jobs: int) -> List[List[CellSpec]]:
+    """Split the largest warm groups until every worker can get one.
+
+    A grid whose cells all share one warm key (e.g. fig7: one geometry,
+    six buffer depths) would otherwise serialize on a single worker.
+    Splitting a group costs one extra warm-up but restores parallelism;
+    since measuring from a restored snapshot is bit-identical to warming
+    from scratch, any split yields identical results.
+    """
+    total = sum(len(group) for group in groups)
+    target = min(jobs, total)
+    groups = [list(group) for group in groups]
+    while len(groups) < target:
+        largest = max(range(len(groups)), key=lambda i: len(groups[i]))
+        group = groups[largest]
+        if len(group) < 2:
+            break
+        half = len(group) // 2
+        groups[largest] = group[:half]
+        groups.append(group[half:])
+    return groups
+
+
 def run_cells(
     cells: Iterable[CellSpec],
     jobs: int = 1,
     cache: Optional[DiskCellCache] = None,
     fresh: bool = False,
     progress: Optional[ProgressFn] = None,
+    share_warm: bool = True,
 ) -> SweepReport:
     """Run a sweep; see module docstring for the exact flow.
 
     ``cache=None`` disables the disk cache entirely; ``fresh=True`` keeps
     the cache but ignores existing entries (recomputing and overwriting
     them).  Duplicate cells (figures share rows) are computed once.
+
+    ``share_warm`` (default on) schedules the cache-miss cells in groups
+    keyed by :func:`warm_fingerprint`: each group warms once and every
+    member cell measures from a restored snapshot of that state.  Results
+    are bit-identical with sharing on or off, and for any ``jobs`` — only
+    the wall-clock changes.
     """
     started = time.perf_counter()
     unique: List[CellSpec] = []
@@ -153,45 +253,85 @@ def run_cells(
             pending.append(spec)
 
     def record(spec: CellSpec, result: Optional[SimResult], elapsed: float,
-               error: Optional[str] = None) -> None:
+               error: Optional[str] = None, warm_s: float = 0.0,
+               measure_s: float = 0.0) -> None:
         source = "failed" if result is None else "run"
-        outcome = CellOutcome(spec, result, elapsed, source, error)
+        outcome = CellOutcome(spec, result, elapsed, source, error,
+                              warm_s=warm_s, measure_s=measure_s)
         outcomes[spec] = outcome
         if result is not None and cache is not None:
             cache.put(fingerprints[spec], spec, result, elapsed)
         if progress is not None:
             progress(outcome)
 
-    if jobs <= 1 or len(pending) <= 1:
+    def record_rows(rows: Sequence[_GroupRow]) -> None:
+        for spec, result, elapsed, warm_s, measure_s, error in rows:
+            record(spec, result, elapsed, error,
+                   warm_s=warm_s, measure_s=measure_s)
+
+    warm_groups = 0
+    if not share_warm:
+        if jobs <= 1 or len(pending) <= 1:
+            for spec in pending:
+                try:
+                    result, elapsed = _timed_execute(spec)
+                except Exception as error:  # noqa: BLE001 - cell isolation
+                    record(spec, None, 0.0, f"{type(error).__name__}: {error}")
+                else:
+                    record(spec, result, elapsed)
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {pool.submit(_timed_execute, spec): spec
+                           for spec in pending}
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining,
+                                           return_when=FIRST_COMPLETED)
+                    for future in done:
+                        spec = futures[future]
+                        try:
+                            result, elapsed = future.result()
+                        except Exception as error:  # noqa: BLE001
+                            record(spec, None, 0.0,
+                                   f"{type(error).__name__}: {error}")
+                        else:
+                            record(spec, result, elapsed)
+    elif pending:
+        grouped: Dict[str, List[CellSpec]] = {}
         for spec in pending:
-            try:
-                result, elapsed = _timed_execute(spec)
-            except Exception as error:  # noqa: BLE001 - cell isolation
-                record(spec, None, 0.0, f"{type(error).__name__}: {error}")
-            else:
-                record(spec, result, elapsed)
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {pool.submit(_timed_execute, spec): spec
-                       for spec in pending}
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    spec = futures[future]
-                    try:
-                        result, elapsed = future.result()
-                    except Exception as error:  # noqa: BLE001 - cell isolation
-                        record(spec, None, 0.0,
-                               f"{type(error).__name__}: {error}")
-                    else:
-                        record(spec, result, elapsed)
+            grouped.setdefault(warm_fingerprint(spec), []).append(spec)
+        groups = list(grouped.values())
+        if jobs > 1:
+            groups = _balance_groups(groups, jobs)
+        warm_groups = len(groups)
+        if jobs <= 1 or len(groups) <= 1:
+            for group in groups:
+                record_rows(execute_group(group))
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {pool.submit(execute_group, group): group
+                           for group in groups}
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining,
+                                           return_when=FIRST_COMPLETED)
+                    for future in done:
+                        group = futures[future]
+                        try:
+                            rows = future.result()
+                        except Exception as error:  # noqa: BLE001
+                            message = f"{type(error).__name__}: {error}"
+                            for spec in group:
+                                record(spec, None, 0.0, message)
+                        else:
+                            record_rows(rows)
 
     ordered = [outcomes[spec] for spec in unique]
     return SweepReport(
         outcomes=ordered,
         jobs=max(1, jobs),
         elapsed_s=time.perf_counter() - started,
+        warm_groups=warm_groups,
     )
 
 

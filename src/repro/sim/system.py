@@ -8,14 +8,14 @@ instruction stream before measuring).
 
 from __future__ import annotations
 
-from itertools import islice
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 from ..cache.hierarchy import DEFAULT_PROTECTED_BYTES, MemoryHierarchy
 from ..common.config import SystemConfig
 from ..cpu.isa import Instruction
 from ..cpu.ooo import OutOfOrderCore
-from ..workloads.generators import WorkloadProfile, generate_instructions
+from ..workloads.generators import InstructionStream, WorkloadProfile
 from ..workloads.spec import SPEC_PROFILES
 from .results import SimResult
 
@@ -44,6 +44,13 @@ class SimulatedSystem:
         )
 
 
+def default_warmup(config: SystemConfig) -> int:
+    """Warm-up length for ``config``: enough instructions to fill the L2
+    even for a streaming workload (~16 instructions per block), essential
+    so large caches reach steady-state dirty-eviction behaviour."""
+    return 16 * config.l2.n_blocks + 200_000
+
+
 def run_benchmark(
     config: SystemConfig,
     benchmark: str,
@@ -61,26 +68,111 @@ def run_benchmark(
     1.5-billion-instruction fast-forward.  Counters reset at the boundary,
     so only the measured suffix defines IPC and traffic.
 
-    ``warmup`` defaults to enough instructions to fill the L2 even for a
-    streaming workload (~16 instructions per block) — essential so that
-    large caches reach steady-state dirty-eviction behaviour.
+    The prefix replays through the packed fast path
+    (:meth:`InstructionStream.packed` feeding
+    :meth:`MemoryHierarchy.warm_packed`): no ``Instruction`` objects are
+    allocated until the measured suffix, and the end state is bit-identical
+    to the historical object-stream warm-up.
+
+    ``warmup`` defaults to :func:`default_warmup`.
     """
+    system, stream = _warmed_system(config, benchmark, warmup, seed, profile,
+                                    protected_bytes)
+    return system.run(stream.take(instructions), benchmark=benchmark)
+
+
+def _warmed_system(
+    config: SystemConfig,
+    benchmark: str,
+    warmup: Optional[int],
+    seed: int,
+    profile: Optional[WorkloadProfile],
+    protected_bytes: int,
+) -> Tuple[SimulatedSystem, InstructionStream]:
+    """Build a system, pre-sweep + warm it, and park the instruction stream
+    at the measurement boundary."""
     if profile is None:
         profile = SPEC_PROFILES[benchmark]
     if warmup is None:
-        warmup = 16 * config.l2.n_blocks + 200_000
-    needs_presweep = profile.pattern in ("stream", "mixed")
+        warmup = default_warmup(config)
     system = SimulatedSystem(config, protected_bytes)
-    if needs_presweep:
+    if profile.pattern in ("stream", "mixed"):
         _presweep_stream(system, profile)
-    # Stream the warm-up prefix straight from the generator: the prefix can
-    # run to millions of instructions for large L2s, so it is never
-    # materialized — only the measured suffix becomes a list for the core.
-    stream = generate_instructions(profile, warmup + instructions, seed)
+    stream = InstructionStream(profile, seed)
     if warmup:
-        system.hierarchy.warm(islice(stream, warmup))
+        system.hierarchy.warm_packed(
+            stream.packed(warmup, line_bytes=config.l1i.block_bytes))
         _reset_counters(system)
-    return system.run(list(stream), benchmark=benchmark)
+    return system, stream
+
+
+@dataclass
+class WarmState:
+    """A warmed hierarchy snapshot plus the parked instruction stream.
+
+    Everything here is a function of the *warm key*
+    (:func:`~repro.sim.sweep.fingerprint.warm_fingerprint` fields:
+    geometry, scheme + tree layout, workload, seed, warm-up length) — not
+    of bus/DRAM/hash timing — so one ``WarmState`` serves every sweep cell
+    sharing that key.  :attr:`snapshot` and :attr:`stream_state` are
+    immutable with respect to :func:`run_from_warm_state`: restoring is
+    copy-on-read, so a state can seed any number of cells in any order.
+    """
+
+    profile: WorkloadProfile
+    warmup: int
+    seed: int
+    protected_bytes: int
+    #: :meth:`MemoryHierarchy.snapshot` taken at the measurement boundary.
+    snapshot: dict
+    #: :meth:`InstructionStream.state` at the same boundary.
+    stream_state: tuple
+
+
+def prepare_warm_state(
+    config: SystemConfig,
+    benchmark: str,
+    warmup: Optional[int] = None,
+    seed: int = 0,
+    profile: Optional[WorkloadProfile] = None,
+    protected_bytes: int = DEFAULT_PROTECTED_BYTES,
+) -> WarmState:
+    """Run the warm-up once and capture a reusable :class:`WarmState`."""
+    if profile is None:
+        profile = SPEC_PROFILES[benchmark]
+    if warmup is None:
+        warmup = default_warmup(config)
+    system, stream = _warmed_system(config, benchmark, warmup, seed, profile,
+                                    protected_bytes)
+    return WarmState(
+        profile=profile,
+        warmup=warmup,
+        seed=seed,
+        protected_bytes=protected_bytes,
+        snapshot=system.hierarchy.snapshot(),
+        stream_state=stream.state(),
+    )
+
+
+def run_from_warm_state(
+    config: SystemConfig,
+    benchmark: str,
+    warm_state: WarmState,
+    instructions: int = 20_000,
+) -> SimResult:
+    """Measure one cell from a shared :class:`WarmState`.
+
+    Builds a fresh system for ``config`` (which may differ from the
+    warming config in any timing-only parameter), restores the warmed
+    hierarchy state, resumes the instruction stream at the measurement
+    boundary and runs the measured suffix — bit-identical to
+    :func:`run_benchmark` warming this cell from scratch.
+    """
+    system = SimulatedSystem(config, warm_state.protected_bytes)
+    system.hierarchy.restore(warm_state.snapshot)
+    stream = InstructionStream.from_state(warm_state.profile,
+                                          warm_state.stream_state)
+    return system.run(stream.take(instructions), benchmark=benchmark)
 
 
 def _presweep_stream(system: SimulatedSystem, profile: WorkloadProfile) -> None:

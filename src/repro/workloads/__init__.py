@@ -1,10 +1,26 @@
 """Synthetic workload generation and SPEC CPU2000 stand-in models."""
 
-from .generators import WorkloadProfile, generate_instructions, generate_list
+from .generators import (
+    PACKED_CHUNK_INSTRUCTIONS,
+    WARM_IFETCH,
+    WARM_LOAD,
+    WARM_STORE,
+    WARM_STORE_FULL,
+    InstructionStream,
+    WorkloadProfile,
+    generate_instructions,
+    generate_list,
+)
 from .spec import BANDWIDTH_BOUND, BENCHMARK_ORDER, SPEC_PROFILES, spec_workload
 from .tracefile import dump_trace, load_trace, parse_trace, save_trace
 
 __all__ = [
+    "InstructionStream",
+    "PACKED_CHUNK_INSTRUCTIONS",
+    "WARM_IFETCH",
+    "WARM_LOAD",
+    "WARM_STORE",
+    "WARM_STORE_FULL",
     "WorkloadProfile",
     "generate_instructions",
     "generate_list",

@@ -24,13 +24,29 @@ Patterns:
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass
 from math import log
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 from ..cpu.isa import Instruction
 
 BLOCK = 64  # generation granularity: one L2 block
+
+#: Packed-row kind codes emitted by :meth:`InstructionStream.packed`.
+#: A row is one *memory event* of the warm-up replay, not one instruction:
+#: instruction-fetch rows are emitted only when the stream crosses into a
+#: new I-cache line (the same dedup :meth:`MemoryHierarchy.warm` applies),
+#: and non-memory instructions that stay within a line emit nothing.
+#: (Canonical definitions live in :mod:`repro.common.packed`, below both
+#: the producer and the consumer of the format; re-exported here.)
+from ..common.packed import (  # noqa: E402  (re-export)
+    PACKED_CHUNK_INSTRUCTIONS,
+    WARM_IFETCH,
+    WARM_LOAD,
+    WARM_STORE,
+    WARM_STORE_FULL,
+)
 
 
 @dataclass(frozen=True)
@@ -98,6 +114,15 @@ class _AddressStream:
         self._has_runs = profile.spatial_run > 1
         self._run_high = max(2, int(2 * profile.spatial_run))
 
+    def state(self) -> Tuple[int, int, int, int]:
+        """The mutable cursor state (everything not derived from the profile)."""
+        return (self.read_cursor, self.write_cursor,
+                self.run_cursor, self.run_remaining)
+
+    def set_state(self, state: Tuple[int, int, int, int]) -> None:
+        (self.read_cursor, self.write_cursor,
+         self.run_cursor, self.run_remaining) = state
+
     def _wrap(self, offset: int) -> int:
         return offset % self._footprint
 
@@ -159,74 +184,260 @@ class _AddressStream:
         return self.base + self._locality_address(), False
 
 
+class InstructionStream:
+    """Resumable, deterministic instruction source for one (profile, seed).
+
+    One stream owns the RNG, the address cursors and the program counter,
+    so a run can be emitted in *segments* that concatenate bit-identically
+    to a single :func:`generate_instructions` call:
+
+    * :meth:`take` materializes the next ``count`` instructions as
+      :class:`Instruction` objects (the measured suffix of a run);
+    * :meth:`packed` emits the next ``count`` instructions as packed
+      *memory-event* chunks for :meth:`MemoryHierarchy.warm_packed
+      <repro.cache.hierarchy.MemoryHierarchy.warm_packed>` — no
+      ``Instruction`` is ever allocated, and the dependency-distance
+      values (which functional warm-up ignores) are drawn from the RNG in
+      the exact same order but never computed;
+    * :meth:`state` / :meth:`from_state` snapshot and resume the stream,
+      which is what lets a warmed-hierarchy snapshot be shared between
+      sweep cells: restore the snapshot, resume the stream, generate only
+      the measured suffix.
+
+    Both emission modes draw from the RNG in the identical order, so
+    ``packed(w)`` followed by ``take(n)`` equals the ``[w:w+n]`` slice of
+    the plain object stream (``tests/test_warm_replay.py`` proves it).
+    """
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 0):
+        self.profile = profile
+        self.rng = random.Random((_stable_hash(profile.name) ^ seed) & 0xFFFFFFFF)
+        self.addresses = _AddressStream(profile, self.rng)
+        self.pc = 0
+        self.index = 0
+        self.loads_emitted = 0
+        self.last_load_index = 0
+        #: I-cache-line dedup cursor for :meth:`packed` (mirrors the
+        #: ``last_line`` tracking of the object-stream warm-up loop).
+        self._warm_line = -1
+
+    # -- snapshot / resume -------------------------------------------------------
+
+    def state(self) -> tuple:
+        """Picklable snapshot of everything that evolves as the stream runs."""
+        return (
+            self.rng.getstate(),
+            self.addresses.state(),
+            self.pc,
+            self.index,
+            self.loads_emitted,
+            self.last_load_index,
+            self._warm_line,
+        )
+
+    def restore(self, state: tuple) -> None:
+        (rng_state, address_state, self.pc, self.index,
+         self.loads_emitted, self.last_load_index, self._warm_line) = state
+        self.rng.setstate(rng_state)
+        self.addresses.set_state(address_state)
+
+    @classmethod
+    def from_state(cls, profile: WorkloadProfile, state: tuple) -> "InstructionStream":
+        """Resume a stream snapshotted by :meth:`state` (seed-independent)."""
+        stream = cls(profile, seed=0)
+        stream.restore(state)
+        return stream
+
+    # -- object emission -----------------------------------------------------------
+
+    def take(self, count: int) -> List[Instruction]:
+        """Materialize the next ``count`` instructions.
+
+        This is the per-cell hot path of every sweep: all bounds, fractions
+        and callables are bound to locals before the loop, and the
+        geometric dependency-distance draw inlines
+        :meth:`random.Random.expovariate` (``1 + int(-log(1 - u) / lambd)``)
+        so the stream — including the exact RNG draw sequence — matches the
+        historical generator while the loop runs ~2x faster.
+        """
+        profile = self.profile
+        rng_random = self.rng.random
+        addresses = self.addresses
+        load_address = addresses.load_address
+        store_address = addresses.store_address
+        instruction = Instruction
+        load_fraction = profile.load_fraction
+        store_cut = load_fraction + profile.store_fraction
+        branch_cut = store_cut + profile.branch_fraction
+        fp_fraction = profile.fp_fraction
+        mispredict_rate = profile.mispredict_rate
+        serial_load_chain = profile.serial_load_chain
+        code_bytes = profile.code_bytes
+        # geometric distance with the profile's mean; at least 1
+        lambd = 1.0 / profile.mean_dep_distance
+        pc = self.pc
+        loads_emitted = self.loads_emitted
+        last_load_index = self.last_load_index
+        start = self.index
+        out: List[Instruction] = []
+        append = out.append
+
+        for index in range(start, start + count):
+            pc = (pc + 4) % code_bytes
+            roll = rng_random()
+            if roll < load_fraction:
+                if (serial_load_chain and loads_emitted
+                        and rng_random() < serial_load_chain):
+                    # pointer chase: the address register comes from the
+                    # previous load in program order
+                    distance = index - last_load_index
+                    if distance < 1:
+                        distance = 1
+                else:
+                    distance = 1 + int(-log(1.0 - rng_random()) / lambd)
+                append(instruction(kind="load", dep1=distance,
+                                   address=load_address(), pc=pc))
+                last_load_index = index
+                loads_emitted += 1
+            elif roll < store_cut:
+                address, full = store_address()
+                append(instruction(kind="store",
+                                   dep1=1 + int(-log(1.0 - rng_random()) / lambd),
+                                   dep2=1 + int(-log(1.0 - rng_random()) / lambd),
+                                   address=address, pc=pc, full_block=full))
+            elif roll < branch_cut:
+                mispredicted = rng_random() < mispredict_rate
+                append(instruction(kind="branch",
+                                   dep1=1 + int(-log(1.0 - rng_random()) / lambd),
+                                   pc=pc, mispredicted=mispredicted))
+            elif rng_random() < fp_fraction:
+                append(instruction(kind="fp",
+                                   dep1=1 + int(-log(1.0 - rng_random()) / lambd),
+                                   dep2=1 + int(-log(1.0 - rng_random()) / lambd),
+                                   pc=pc))
+            else:
+                append(instruction(kind="alu",
+                                   dep1=1 + int(-log(1.0 - rng_random()) / lambd),
+                                   dep2=1 + int(-log(1.0 - rng_random()) / lambd),
+                                   pc=pc))
+
+        self.pc = pc
+        self.index = start + count
+        self.loads_emitted = loads_emitted
+        self.last_load_index = last_load_index
+        return out
+
+    # -- packed emission ------------------------------------------------------------
+
+    def packed(
+        self,
+        count: int,
+        line_bytes: int = 32,
+        chunk_instructions: int = PACKED_CHUNK_INSTRUCTIONS,
+    ) -> Iterator[Tuple[array, array]]:
+        """The next ``count`` instructions as packed warm-up chunks.
+
+        Yields ``(codes, values)`` pairs of parallel ``array`` columns: one
+        row per *memory event*, with ``codes`` holding a ``WARM_*`` kind
+        code and ``values`` the event's address (the instruction's ``pc``
+        for :data:`WARM_IFETCH` rows, the data address otherwise; the §5.3
+        full-block store mark is folded into :data:`WARM_STORE_FULL`).
+        ``line_bytes`` is the L1-I block size the instruction-fetch dedup
+        is keyed on — rows appear only when the pc crosses into a new line,
+        exactly like the object-stream warm-up loop, so consuming the rows
+        in order reproduces its cache/TLB state bit for bit.
+        """
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError(f"line_bytes must be a power of two, got {line_bytes}")
+        line_shift = line_bytes.bit_length() - 1
+        remaining = count
+        while remaining > 0:
+            n = min(remaining, chunk_instructions)
+            yield self._packed_chunk(n, line_shift)
+            remaining -= n
+
+    def _packed_chunk(self, count: int, line_shift: int) -> Tuple[array, array]:
+        """Generate one packed chunk of ``count`` instructions.
+
+        Draws from the RNG in the exact order of :meth:`take` — including
+        the dependency-distance and mispredict draws whose values the
+        warm-up never uses — so the stream can switch between packed and
+        object emission at any instruction boundary without diverging.
+        """
+        profile = self.profile
+        rng_random = self.rng.random
+        addresses = self.addresses
+        load_address = addresses.load_address
+        store_address = addresses.store_address
+        load_fraction = profile.load_fraction
+        store_cut = load_fraction + profile.store_fraction
+        branch_cut = store_cut + profile.branch_fraction
+        serial_load_chain = profile.serial_load_chain
+        code_bytes = profile.code_bytes
+        pc = self.pc
+        loads_emitted = self.loads_emitted
+        last_load_index = self.last_load_index
+        last_line = self._warm_line
+        codes = array("B")
+        values = array("Q")
+        code_append = codes.append
+        value_append = values.append
+        start = self.index
+
+        for index in range(start, start + count):
+            pc = (pc + 4) % code_bytes
+            line = pc >> line_shift
+            if line != last_line:
+                last_line = line
+                code_append(WARM_IFETCH)
+                value_append(pc)
+            roll = rng_random()
+            if roll < load_fraction:
+                if not (serial_load_chain and loads_emitted
+                        and rng_random() < serial_load_chain):
+                    rng_random()  # dependency-distance draw (value unused)
+                code_append(WARM_LOAD)
+                value_append(load_address())
+                last_load_index = index
+                loads_emitted += 1
+            elif roll < store_cut:
+                address, full = store_address()
+                rng_random()  # dep1 draw
+                rng_random()  # dep2 draw
+                code_append(WARM_STORE_FULL if full else WARM_STORE)
+                value_append(address)
+            elif roll < branch_cut:
+                rng_random()  # mispredict draw
+                rng_random()  # dep1 draw
+            else:
+                rng_random()  # fp-fraction draw
+                rng_random()  # dep1 draw
+                rng_random()  # dep2 draw
+
+        self.pc = pc
+        self.index = start + count
+        self.loads_emitted = loads_emitted
+        self.last_load_index = last_load_index
+        self._warm_line = last_line
+        return codes, values
+
+
 def generate_instructions(
     profile: WorkloadProfile, count: int, seed: int = 0
 ) -> Iterator[Instruction]:
     """Deterministically synthesize ``count`` instructions for ``profile``.
 
-    This is the per-cell hot path of every sweep: all bounds, fractions and
-    callables are bound to locals before the loop, and the geometric
-    dependency-distance draw inlines :meth:`random.Random.expovariate`
-    (``1 + int(-log(1 - u) / lambd)``) so the stream — including the exact
-    RNG draw sequence — is unchanged while the loop runs ~2x faster.
+    A lazy wrapper over :meth:`InstructionStream.take` (the single source
+    of truth for the stream definition), materializing one packed-chunk-
+    sized segment at a time so multi-million-instruction streams never
+    exist in memory at once.
     """
-    rng = random.Random((_stable_hash(profile.name) ^ seed) & 0xFFFFFFFF)
-    addresses = _AddressStream(profile, rng)
-    rng_random = rng.random
-    load_address = addresses.load_address
-    store_address = addresses.store_address
-    instruction = Instruction
-    load_fraction = profile.load_fraction
-    store_cut = load_fraction + profile.store_fraction
-    branch_cut = store_cut + profile.branch_fraction
-    fp_fraction = profile.fp_fraction
-    mispredict_rate = profile.mispredict_rate
-    serial_load_chain = profile.serial_load_chain
-    code_bytes = profile.code_bytes
-    # geometric distance with the profile's mean; at least 1
-    lambd = 1.0 / profile.mean_dep_distance
-    pc = 0
-    loads_emitted = 0
-    last_load_index = 0
-
-    for index in range(count):
-        pc = (pc + 4) % code_bytes
-        roll = rng_random()
-        if roll < load_fraction:
-            if (serial_load_chain and loads_emitted
-                    and rng_random() < serial_load_chain):
-                # pointer chase: the address register comes from the
-                # previous load in program order
-                distance = index - last_load_index
-                if distance < 1:
-                    distance = 1
-            else:
-                distance = 1 + int(-log(1.0 - rng_random()) / lambd)
-            yield instruction(kind="load", dep1=distance,
-                              address=load_address(), pc=pc)
-            last_load_index = index
-            loads_emitted += 1
-        elif roll < store_cut:
-            address, full = store_address()
-            yield instruction(kind="store",
-                              dep1=1 + int(-log(1.0 - rng_random()) / lambd),
-                              dep2=1 + int(-log(1.0 - rng_random()) / lambd),
-                              address=address, pc=pc, full_block=full)
-        elif roll < branch_cut:
-            mispredicted = rng_random() < mispredict_rate
-            yield instruction(kind="branch",
-                              dep1=1 + int(-log(1.0 - rng_random()) / lambd),
-                              pc=pc, mispredicted=mispredicted)
-        elif rng_random() < fp_fraction:
-            yield instruction(kind="fp",
-                              dep1=1 + int(-log(1.0 - rng_random()) / lambd),
-                              dep2=1 + int(-log(1.0 - rng_random()) / lambd),
-                              pc=pc)
-        else:
-            yield instruction(kind="alu",
-                              dep1=1 + int(-log(1.0 - rng_random()) / lambd),
-                              dep2=1 + int(-log(1.0 - rng_random()) / lambd),
-                              pc=pc)
+    stream = InstructionStream(profile, seed)
+    remaining = count
+    while remaining > 0:
+        n = min(remaining, PACKED_CHUNK_INSTRUCTIONS)
+        yield from stream.take(n)
+        remaining -= n
 
 
 def _stable_hash(text: str) -> int:

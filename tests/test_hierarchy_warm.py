@@ -1,0 +1,106 @@
+"""Hierarchy-level coverage for the warm-up helpers.
+
+Two paths the sweep engine leans on hard but that previously had only
+indirect coverage: the streaming pre-sweep (``_presweep_stream``) and the
+§5.3 full-block store-allocate optimization (a store stream that
+overwrites whole blocks allocates them dirty with no fetch and no check).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.common.config import SchemeKind, table1_config
+from repro.sim.system import SimulatedSystem, _presweep_stream
+from repro.workloads.spec import SPEC_PROFILES
+
+
+def chash_config(**overrides):
+    return dataclasses.replace(table1_config(SchemeKind.CHASH), **overrides)
+
+
+class TestFullBlockStoreAllocate:
+    """§5.3: valid-bit write-allocate at the hierarchy level, timing on."""
+
+    def test_allocates_dirty_with_no_fetch_and_no_check(self):
+        hierarchy = MemoryHierarchy(chash_config())
+        address = 0x4_0000
+        done, check_done = hierarchy.store(address, 0, full_block=True)
+        assert done == check_done  # nothing to verify in the background
+        assert hierarchy.stats["full_block_store_allocations"] == 1
+        # no fetch: the block was never read from memory
+        assert hierarchy.memory.stats["reads"] == 0
+        assert hierarchy.memory.stats["read_bytes_data"] == 0
+        # no check: the hash engine never saw the block
+        assert hierarchy.engine.stats["hash_ops"] == 0
+        assert hierarchy.engine.stats["checks_completed"] == 0
+        # allocated dirty at both levels
+        physical = hierarchy.scheme.data_address(address)
+        assert hierarchy.l1d.probe(physical) and hierarchy.l1d.is_dirty(physical)
+        assert hierarchy.l2.probe(physical) and hierarchy.l2.is_dirty(physical)
+
+    def test_partial_store_takes_the_checked_miss_path(self):
+        hierarchy = MemoryHierarchy(chash_config())
+        hierarchy.store(0x4_0000, 0, full_block=False)
+        assert hierarchy.stats["full_block_store_allocations"] == 0
+        assert hierarchy.memory.stats["reads"] > 0
+        assert hierarchy.engine.stats["hash_ops"] > 0
+
+    def test_ablation_flag_disables_the_optimization(self):
+        hierarchy = MemoryHierarchy(
+            chash_config(write_allocate_valid_bits=False))
+        hierarchy.store(0x4_0000, 0, full_block=True)
+        assert hierarchy.stats["full_block_store_allocations"] == 0
+        # the fully-overwritten block is fetched and checked anyway
+        assert hierarchy.memory.stats["reads"] > 0
+        assert hierarchy.engine.stats["hash_ops"] > 0
+
+    def test_hit_never_counts_as_allocation(self):
+        hierarchy = MemoryHierarchy(chash_config())
+        hierarchy.store(0x4_0000, 0, full_block=True)
+        hierarchy.store(0x4_0000, 10, full_block=True)  # L1 hit now
+        assert hierarchy.stats["full_block_store_allocations"] == 1
+
+
+class TestPresweepStream:
+    @pytest.fixture(scope="class")
+    def swept(self):
+        system = SimulatedSystem(chash_config())
+        _presweep_stream(system, SPEC_PROFILES["swim"])
+        return system
+
+    def test_fills_the_entire_l2(self, swept):
+        l2 = swept.hierarchy.l2
+        assert l2.occupancy() == l2.config.n_blocks
+
+    def test_write_stream_leaves_dirty_state(self, swept):
+        profile = SPEC_PROFILES["swim"]
+        hierarchy = swept.hierarchy
+        # the final store of the traversal must still be resident and dirty
+        offset = (profile.footprint_bytes - 64 + profile.footprint_bytes // 2)
+        last_store = profile.code_bytes + offset % profile.footprint_bytes
+        physical = hierarchy.scheme.data_address(last_store)
+        assert hierarchy.l1d.is_dirty(physical)
+
+    def test_timing_state_stays_pristine(self, swept):
+        hierarchy = swept.hierarchy
+        assert hierarchy.memory.timing_enabled  # warm mode exited
+        assert hierarchy.engine.timing_enabled
+        assert hierarchy.memory.bus_free_at == 0
+        assert hierarchy.memory.stats["reads"] == 0
+        assert hierarchy.engine.stats["hash_ops"] == 0
+
+    def test_cache_counters_were_diverted(self, swept):
+        # per-cache statistics of the pre-sweep are discarded, not recorded
+        assert not swept.hierarchy.l2.stats.counters
+        assert not swept.hierarchy.l1d.stats.counters
+        assert not swept.hierarchy.dtlb.stats.counters
+
+    def test_full_block_allocations_are_recorded(self, swept):
+        # swim's store stream is marked full-block, so the §5.3 counter on
+        # the hierarchy group accumulates (and is cleared by the post-warm
+        # reset whenever warmup > 0)
+        assert swept.hierarchy.stats["full_block_store_allocations"] > 0

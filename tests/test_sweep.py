@@ -21,12 +21,15 @@ from repro.sim.sweep import (
     config_from_dict,
     config_to_dict,
     execute_cell,
+    execute_group,
     figure_cells,
     result_from_dict,
     result_to_dict,
     results_grid,
     run_cells,
+    warm_fingerprint,
 )
+from repro.sim.sweep.runner import _balance_groups
 
 # small enough that a cell takes tens of milliseconds
 TINY = dict(instructions=400, warmup=300)
@@ -134,6 +137,65 @@ class TestFingerprint:
         config = tiny(l2_size=256 * KB, blocks_per_chunk=2,
                       scheme=SchemeKind.MHASH).build_config()
         assert config_from_dict(config_to_dict(config)) == config
+
+
+# --------------------------------------------------------------------------
+# the warm fingerprint — which cells may share a warm-up
+# --------------------------------------------------------------------------
+
+class TestWarmFingerprint:
+    def test_stable_and_spelling_insensitive(self):
+        defaults = cell_param_defaults()
+        explicit = tiny(l2_size=defaults["l2_size"],
+                        hash_throughput=defaults["hash_throughput"])
+        assert warm_fingerprint(tiny()) == warm_fingerprint(tiny())
+        assert warm_fingerprint(explicit) == warm_fingerprint(tiny())
+
+    @pytest.mark.parametrize("change", [
+        dict(hash_throughput=0.8),
+        dict(buffer_entries=4),
+        dict(instructions=800),
+    ])
+    def test_timing_only_changes_share_a_warm_key(self, change):
+        # fig6 (throughput), fig7 (buffer depth) and measurement-window
+        # sweeps redo identical warm-ups — that is the whole point
+        assert (warm_fingerprint(dataclasses.replace(tiny(), **change))
+                == warm_fingerprint(tiny()))
+
+    @pytest.mark.parametrize("change", [
+        dict(benchmark="twolf"),
+        dict(scheme=SchemeKind.BASE),
+        dict(l2_size=256 * KB),
+        dict(l2_block=128),
+        dict(write_allocate_valid_bits=False),
+        dict(warmup=301),
+        dict(seed=1),
+    ])
+    def test_state_affecting_changes_split_warm_keys(self, change):
+        base = tiny()
+        benchmark = change.pop("benchmark", base.benchmark)
+        scheme = change.pop("scheme", base.scheme)
+        changed = dataclasses.replace(
+            base, benchmark=benchmark, scheme=scheme, **change
+        )
+        assert warm_fingerprint(changed) != warm_fingerprint(base)
+
+    def test_blocks_per_chunk_matters_only_when_tree_uses_it(self):
+        # mhash's tree layout depends on the chunk geometry; chash ignores
+        # blocks_per_chunk entirely, and base has no tree at all
+        for scheme in (SchemeKind.CHASH, SchemeKind.BASE):
+            assert (warm_fingerprint(tiny(scheme=scheme, blocks_per_chunk=4))
+                    == warm_fingerprint(tiny(scheme=scheme)))
+        assert (warm_fingerprint(tiny(scheme=SchemeKind.MHASH,
+                                      blocks_per_chunk=4))
+                != warm_fingerprint(tiny(scheme=SchemeKind.MHASH)))
+
+    def test_default_warmup_resolves_before_hashing(self):
+        # warmup=None and the explicitly resolved count must collide
+        from repro.sim.system import default_warmup
+        resolved = default_warmup(tiny().build_config())
+        assert (warm_fingerprint(tiny(warmup=None))
+                == warm_fingerprint(tiny(warmup=resolved)))
 
 
 # --------------------------------------------------------------------------
@@ -272,6 +334,80 @@ class TestRunner:
 
 
 # --------------------------------------------------------------------------
+# warm-state sharing in the runner
+# --------------------------------------------------------------------------
+
+class TestWarmSharing:
+    #: a fig6/fig7-style slice: one warm key, four timing variants
+    TIMING_CELLS = [
+        tiny(),
+        tiny(hash_throughput=0.8),
+        tiny(buffer_entries=4),
+        tiny(hash_throughput=1.6, buffer_entries=2),
+    ]
+
+    def test_shared_matches_unshared_bit_for_bit(self):
+        shared = run_cells(self.TIMING_CELLS, share_warm=True)
+        unshared = run_cells(self.TIMING_CELLS, share_warm=False)
+        assert shared.warm_groups == 1
+        assert unshared.warm_groups == 0
+        assert shared.results.keys() == unshared.results.keys()
+        for spec in shared.results:
+            assert_same_result(shared.results[spec], unshared.results[spec])
+
+    def test_shared_parallel_matches_sequential(self):
+        sequential = run_cells(self.TIMING_CELLS, jobs=1)
+        parallel = run_cells(self.TIMING_CELLS, jobs=4)
+        # jobs=4 splits the single warm group to keep workers busy...
+        assert parallel.warm_groups > sequential.warm_groups
+        # ...without changing a single bit of any result
+        for spec in sequential.results:
+            assert_same_result(parallel.results[spec],
+                               sequential.results[spec])
+
+    def test_exactly_one_warm_per_group(self):
+        report = run_cells(self.TIMING_CELLS, share_warm=True)
+        warmed = [o for o in report.ran if o.warm_s > 0]
+        assert len(warmed) == 1
+        assert all(o.measure_s > 0 for o in report.ran)
+        assert "warm-up" in report.summary()
+        assert "1 shared group" in report.summary()
+
+    def test_execute_group_rows_match_execute_cell(self):
+        rows = execute_group(self.TIMING_CELLS)
+        assert [spec for spec, *_ in rows] == self.TIMING_CELLS
+        for spec, result, _elapsed, _warm, _measure, error in rows:
+            assert error is None
+            assert_same_result(result, execute_cell(spec))
+
+    def test_group_warm_failure_fails_every_cell(self):
+        rows = execute_group([tiny(benchmark="no-such-benchmark"),
+                              tiny(benchmark="also-missing")])
+        assert all(result is None for _spec, result, *_rest in rows)
+        assert all(row[-1] for row in rows)
+
+    def test_failed_cell_isolated_within_group(self, tmp_path):
+        cache = DiskCellCache(tmp_path)
+        cells = [tiny(), tiny(benchmark="no-such-benchmark")]
+        report = run_cells(cells, cache=cache)
+        assert len(report.ran) == 1 and len(report.failed) == 1
+        assert len(cache) == 1
+
+    def test_balance_splits_largest_groups_first(self):
+        groups = _balance_groups([self.TIMING_CELLS, [tiny(seed=9)]], jobs=4)
+        assert len(groups) == 4
+        flattened = [spec for group in groups for spec in group]
+        assert sorted(flattened, key=str) == sorted(
+            self.TIMING_CELLS + [tiny(seed=9)], key=str)
+        assert all(groups)  # no empty group
+
+    def test_balance_never_exceeds_cells_or_splits_singletons(self):
+        groups = _balance_groups([[tiny()], [tiny(seed=1)]], jobs=8)
+        assert len(groups) == 2
+        assert _balance_groups([], jobs=4) == []
+
+
+# --------------------------------------------------------------------------
 # figure grids
 # --------------------------------------------------------------------------
 
@@ -316,3 +452,23 @@ class TestCli:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "0 run, 3 cached" in out
+
+    def test_sweep_reports_warm_measure_split(self, tmp_path, capsys):
+        from repro.__main__ import main
+        argv = ["sweep", "--figure", "fig5", "--benchmarks", "gzip",
+                "--instructions", "400", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        # per-cell lines carry the split; the summary totals it
+        assert "warm" in out and "measure" in out
+        assert "shared group" in out
+
+    def test_sweep_no_warm_share_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+        argv = ["sweep", "--figure", "fig5", "--benchmarks", "gzip",
+                "--instructions", "400", "--cache-dir", str(tmp_path),
+                "--no-warm-share"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "3 run, 0 cached" in out
+        assert "shared group" not in out
