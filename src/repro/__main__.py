@@ -18,6 +18,9 @@ Commands:
     Save a deterministic instruction trace of a benchmark model.
 ``sweep --figure FIG [--jobs N] [--no-cache] [--fresh]``
     Run a whole figure grid in parallel with the persistent result cache.
+``check [PATHS ...] [--format text|github] [--selftest] [--list-rules]``
+    Static-analysis gate: determinism, snapshot-completeness,
+    counter-symmetry, and scheme-API conformance passes.
 """
 
 from __future__ import annotations
@@ -162,6 +165,32 @@ def _cmd_sweep(args) -> int:
     return 1 if report.failed else 0
 
 
+def _cmd_check(args) -> int:
+    from pathlib import Path
+
+    from .checks import RULES, collect_findings, format_findings, run_selftest
+
+    if args.list_rules:
+        width = max(len(rule) for rule in RULES)
+        for rule, description in RULES.items():
+            print(f"{rule:{width}s}  {description}")
+        return 0
+    if args.selftest:
+        ok, report = run_selftest()
+        print("\n".join(report))
+        return 0 if ok else 1
+    # files named explicitly are linted as sim code even when they live
+    # outside the default determinism scope (checks/, crypto/, tests)
+    paths = [Path(p) for p in args.paths] or None
+    findings = collect_findings(paths=paths, assume_sim=paths is not None)
+    if findings:
+        print(format_findings(findings, args.format))
+        print(f"\nrepro check: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("repro check: clean")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from .workloads import save_trace, spec_workload
     count = save_trace(spec_workload(args.benchmark, args.n, args.seed),
@@ -210,6 +239,19 @@ def main(argv=None) -> int:
     sweep.add_argument("--cache-dir", default=None,
                        help="cache root (default: .repro_cache)")
 
+    check = sub.add_parser("check")
+    check.add_argument("paths", nargs="*", default=[],
+                       help="files to check (default: all of src/repro)")
+    check.add_argument("--format", default="text",
+                       choices=["text", "github"],
+                       help="finding output format (github emits ::error "
+                            "workflow commands for inline annotations)")
+    check.add_argument("--selftest", action="store_true",
+                       help="run the checker against its violation "
+                            "fixtures instead of the tree")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print every rule id with its description")
+
     trace = sub.add_parser("trace")
     trace.add_argument("benchmark", choices=BENCHMARK_ORDER)
     trace.add_argument("path")
@@ -225,6 +267,7 @@ def main(argv=None) -> int:
         "experiments": _cmd_experiments,
         "area": _cmd_area,
         "sweep": _cmd_sweep,
+        "check": _cmd_check,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

@@ -10,6 +10,7 @@ Figure 4 of the paper plots.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -68,8 +69,7 @@ class CacheSim:
         #: per-set eviction-order list of block addresses (victim at the end).
         self._sets: List[List[int]] = [[] for _ in range(self._n_sets)]
         self._dirty: set[int] = set()
-        import random as _random
-        self._rng = _random.Random(seed)
+        self._rng = random.Random(seed)
         self._lru = policy == "lru"
         self._counters = self.stats.counters
         #: per-kind precomputed stat keys: (accesses, writes, hits, misses, fills)

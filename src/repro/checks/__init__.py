@@ -1,0 +1,47 @@
+"""``repro.checks`` — the AST-based static-analysis gate.
+
+Four passes over ``src/repro/`` prove the invariants the sweep cache
+and warm-state sharing depend on:
+
+1. determinism lint (no ambient randomness/clock/hash-seed sensitivity),
+2. snapshot completeness (every warm-path mutation captured or
+   allowlisted),
+3. counter symmetry (warm twins mutate the same functional state as
+   their counted counterparts),
+4. scheme-API conformance (registry classes implement the full
+   ``TimingScheme`` surface; no cross-module private calls).
+
+Run it with ``python -m repro check``; see ``docs/static_analysis.md``.
+"""
+
+from .conformance import check_conformance
+from .determinism import SIM_SCOPES, check_determinism
+from .findings import Finding, RULES, format_findings
+from .runner import (
+    build_index, collect_findings, default_root, fixtures_root,
+    run_passes, run_selftest,
+)
+from .snapshots import SNAPSHOT_ALLOWLIST, check_snapshots
+from .symmetry import COUNTER_ATTRS, check_symmetry
+from .waivers import apply_waivers, scan_waivers
+
+__all__ = [
+    "COUNTER_ATTRS",
+    "Finding",
+    "RULES",
+    "SIM_SCOPES",
+    "SNAPSHOT_ALLOWLIST",
+    "apply_waivers",
+    "build_index",
+    "check_conformance",
+    "check_determinism",
+    "check_snapshots",
+    "check_symmetry",
+    "collect_findings",
+    "default_root",
+    "fixtures_root",
+    "format_findings",
+    "run_passes",
+    "run_selftest",
+    "scan_waivers",
+]

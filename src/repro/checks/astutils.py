@@ -1,0 +1,488 @@
+"""Shared AST infrastructure for the ``repro check`` passes.
+
+Two layers live here:
+
+* a **project index** — every ``.py`` file parsed once, with classes,
+  methods and a name-based MRO so passes can resolve inherited methods
+  (e.g. a scheme's ``snapshot_state`` defined on ``TimingScheme``);
+* a **mutation analyzer** — for one method, the set of ``self``
+  attributes its body can mutate, with local-alias tracking so the hot
+  loops' idiom (``ways = self._sets[index]; ways.insert(0, block)`` or
+  ``l1d_warm = self.l1d.warm_access``) is attributed to the right
+  attribute, plus the same-class methods it calls so passes can take a
+  transitive closure over the warm path.
+
+The analyzer deliberately over-approximates: a method call on an
+attribute counts as a mutation unless its name is on
+:data:`PURE_METHODS`.  For the snapshot-completeness pass a false
+"mutation" of a snapshotted attribute is harmless, and a false mutation
+of an unsnapshotted one surfaces as a finding to be allowlisted with a
+justification — the safe failure direction for an integrity gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Method names the mutation analyzer treats as read-only.  Everything
+#: else called on a tracked attribute counts as a potential mutation.
+PURE_METHODS = frozenset({
+    # snapshot/restore protocol reads
+    "snapshot", "snapshot_state", "state", "getstate",
+    # cache/TLB probes and metrics
+    "probe", "is_dirty", "block_address", "miss_rate", "occupancy",
+    "ratio", "as_dict", "summary",
+    # container reads
+    "get", "keys", "values", "items", "copy", "index", "count",
+    # config/layout geometry (pure functions of construction parameters)
+    "transfer_cycles", "hash_occupancy_cycles", "chunk_at_address",
+    "hash_location", "chunk_address", "data_address", "earliest_free",
+    "bandwidth_utilization", "bit_length",
+    # spec/identity helpers
+    "label", "normalized", "key", "build_config",
+})
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class definition and its directly-defined methods."""
+
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    bases: List[str]
+    methods: Dict[str, ast.FunctionDef]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path
+    #: path relative to the scan root, POSIX-style (fingerprint of scope).
+    relkey: str
+    #: path as reported in findings (repo-relative when possible).
+    display: str
+    tree: ast.Module
+    lines: List[str]
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: local alias -> imported module name ("random", "os.path", ...).
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (source module, original name) for from-imports.
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+def iter_py_files(root: Path,
+                  exclude_parts: Iterable[str] = ()) -> List[Path]:
+    """All ``.py`` files under ``root``, skipping excluded directories."""
+    excluded = set(exclude_parts)
+    files = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        if excluded.intersection(relative.parts[:-1]):
+            continue
+        files.append(path)
+    return files
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return str(path)
+
+
+def load_module(path: Path, root: Optional[Path] = None) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (never imports it)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    if root is not None and root in path.resolve().parents:
+        relkey = path.resolve().relative_to(root).as_posix()
+    else:
+        relkey = path.name
+    module = ModuleInfo(
+        path=path,
+        relkey=relkey,
+        display=_display_path(path),
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                module.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                module.from_imports[alias.asname or alias.name] = (
+                    node.module, alias.name
+                )
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            bases = []
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    bases.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    bases.append(base.attr)
+            module.classes[node.name] = ClassInfo(
+                name=node.name, module=module, node=node,
+                bases=bases, methods=methods,
+            )
+    return module
+
+
+class ProjectIndex:
+    """All parsed modules plus cross-module class/method resolution."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules: Dict[str, ModuleInfo] = {m.relkey: m for m in modules}
+        self._by_class_name: Dict[str, List[ClassInfo]] = {}
+        for module in modules:
+            for cls in module.classes.values():
+                self._by_class_name.setdefault(cls.name, []).append(cls)
+
+    @classmethod
+    def build(cls, paths: Sequence[Path],
+              root: Optional[Path] = None) -> "ProjectIndex":
+        return cls([load_module(path, root) for path in paths])
+
+    def classes(self) -> Iterable[ClassInfo]:
+        for module in self.modules.values():
+            yield from module.classes.values()
+
+    def resolve_class(self, name: str,
+                      from_module: Optional[ModuleInfo] = None
+                      ) -> Optional[ClassInfo]:
+        """Resolve a class by name: same module first, else unique global."""
+        if from_module is not None and name in from_module.classes:
+            return from_module.classes[name]
+        candidates = self._by_class_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def mro(self, cls: ClassInfo) -> List[ClassInfo]:
+        """Linearized bases by name lookup (cycle- and miss-tolerant)."""
+        out: List[ClassInfo] = []
+        seen: Set[int] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            out.append(current)
+            for base in current.bases:
+                resolved = self.resolve_class(base, current.module)
+                if resolved is not None:
+                    queue.append(resolved)
+        return out
+
+    def mro_names(self, cls: ClassInfo) -> Set[str]:
+        return {c.name for c in self.mro(cls)}
+
+    def find_method(self, cls: ClassInfo, name: str
+                    ) -> Optional[Tuple[ClassInfo, ast.FunctionDef]]:
+        for candidate in self.mro(cls):
+            if name in candidate.methods:
+                return candidate, candidate.methods[name]
+        return None
+
+    def all_method_names(self, cls: ClassInfo) -> Set[str]:
+        names: Set[str] = set()
+        for candidate in self.mro(cls):
+            names.update(candidate.methods)
+        return names
+
+
+# -- mutation analysis -----------------------------------------------------------
+
+
+@dataclass
+class MethodEffects:
+    """What one method body can do to ``self``."""
+
+    #: attr -> (line of first mutation, method where it happened).
+    mutations: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+    #: same-class methods invoked (directly or through a local alias).
+    own_calls: Set[str] = field(default_factory=set)
+
+
+class _MethodAnalyzer:
+    """Single linear walk over a method body, tracking local aliases."""
+
+    def __init__(self, method_name: str, class_method_names: Set[str]):
+        self.method_name = method_name
+        self.class_methods = class_method_names
+        self.effects = MethodEffects()
+        #: local name -> self attributes it may alias.
+        self.env: Dict[str, Set[str]] = {}
+        #: local name -> same-class methods it may alias.
+        self.own_alias: Dict[str, Set[str]] = {}
+
+    # -- recording ----------------------------------------------------------------
+
+    def record(self, attr: str, line: int) -> None:
+        self.effects.mutations.setdefault(attr, (line, self.method_name))
+
+    # -- expression analysis: returns the self-attr roots of a value ---------------
+
+    def roots(self, node: Optional[ast.AST]) -> Set[str]:
+        if node is None or isinstance(node, (ast.Constant, ast.Lambda)):
+            return set()
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, ()))
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                if node.attr in self.class_methods:
+                    return set()
+                return {node.attr}
+            base = self.roots(node.value)
+            if node.attr in PURE_METHODS:
+                return set()
+            return base
+        if isinstance(node, ast.Subscript):
+            self.roots(node.slice)
+            return self.roots(node.value)
+        if isinstance(node, ast.Call):
+            self._call(node)
+            return set()
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            for comp in node.generators:
+                iter_roots = self.roots(comp.iter)
+                self._bind_target(comp.target, iter_roots, set())
+                for cond in comp.ifs:
+                    self.roots(cond)
+            for part in ("elt", "key", "value"):
+                if hasattr(node, part):
+                    self.roots(getattr(node, part))
+            return set()
+        # generic: union over child expressions (BinOp, BoolOp, Tuple, ...)
+        combined: Set[str] = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                combined.update(self.roots(child))
+        return combined
+
+    def own_refs(self, node: Optional[ast.AST]) -> Set[str]:
+        """Same-class methods an expression may evaluate to."""
+        if isinstance(node, ast.Name):
+            return set(self.own_alias.get(node.id, ()))
+        if isinstance(node, ast.Attribute):
+            if (isinstance(node.value, ast.Name) and node.value.id == "self"
+                    and node.attr in self.class_methods):
+                return {node.attr}
+            return set()
+        if isinstance(node, (ast.Tuple, ast.List)):
+            refs: Set[str] = set()
+            for element in node.elts:
+                refs.update(self.own_refs(element))
+            return refs
+        return set()
+
+    def _call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                if func.attr in self.class_methods:
+                    self.effects.own_calls.add(func.attr)
+                elif (func.attr not in PURE_METHODS
+                      and not func.attr.startswith("__")):
+                    # calling a callable stored in a data attribute
+                    self.record(func.attr, node.lineno)
+            else:
+                receiver_roots = self.roots(receiver)
+                if (func.attr not in PURE_METHODS
+                        and not func.attr.startswith("__")):
+                    for attr in receiver_roots:
+                        self.record(attr, node.lineno)
+        elif isinstance(func, ast.Name):
+            self.effects.own_calls.update(self.own_alias.get(func.id, ()))
+            # a bound-method alias of a component mutates that component
+            for attr in self.env.get(func.id, ()):
+                self.record(attr, node.lineno)
+        else:
+            self.roots(func)
+        for arg in node.args:
+            self.roots(arg)
+        for keyword in node.keywords:
+            self.roots(keyword.value)
+
+    # -- targets -------------------------------------------------------------------
+
+    def _mutate_target(self, target: ast.AST, line: int) -> None:
+        """An assignment *into* this target mutates which attributes?"""
+        if isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                self.record(target.attr, line)
+            else:
+                for attr in self.roots(target.value):
+                    self.record(attr, line)
+        elif isinstance(target, ast.Subscript):
+            for attr in self.roots(target.value):
+                self.record(attr, line)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._mutate_target(element, line)
+        elif isinstance(target, ast.Starred):
+            self._mutate_target(target.value, line)
+
+    def _bind_target(self, target: ast.AST, roots: Set[str],
+                     own: Set[str]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(roots)
+            self.own_alias[target.id] = set(own)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, roots, own)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, roots, own)
+        else:
+            self._mutate_target(target, getattr(target, "lineno", 0))
+
+    def _assign(self, targets: Sequence[ast.AST],
+                value: Optional[ast.AST], line: int) -> None:
+        # element-wise for `a, b = self.x, self.y` style tuple assigns
+        if (len(targets) == 1 and isinstance(targets[0], ast.Tuple)
+                and isinstance(value, ast.Tuple)
+                and len(targets[0].elts) == len(value.elts)):
+            for target, element in zip(targets[0].elts, value.elts):
+                self._assign([target], element, line)
+            return
+        roots = self.roots(value)
+        own = self.own_refs(value)
+        # a plain pure-method reference yields a fresh/read-only value
+        if isinstance(value, ast.Attribute) and value.attr in PURE_METHODS:
+            roots = set()
+        for target in targets:
+            if isinstance(target, (ast.Name, ast.Tuple, ast.List, ast.Starred)):
+                self._bind_target(target, roots, own)
+            else:
+                self._mutate_target(target, line)
+
+    # -- statements ----------------------------------------------------------------
+
+    def run(self, fn: ast.FunctionDef) -> MethodEffects:
+        for arg in list(fn.args.posonlyargs) + list(fn.args.args):
+            self.env.setdefault(arg.arg, set())
+        self._block(fn.body)
+        return self.effects
+
+    def _block(self, statements: Sequence[ast.stmt]) -> None:
+        for statement in statements:
+            self._statement(statement)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt.targets, stmt.value, stmt.lineno)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._assign([stmt.target], stmt.value, stmt.lineno)
+        elif isinstance(stmt, ast.AugAssign):
+            self._mutate_target(stmt.target, stmt.lineno)
+            if isinstance(stmt.target, ast.Name):
+                for attr in self.env.get(stmt.target.id, ()):
+                    self.record(attr, stmt.lineno)
+            self.roots(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.roots(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            self.roots(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.roots(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            iter_roots = self.roots(stmt.iter)
+            self._bind_target(stmt.target, iter_roots, self.own_refs(stmt.iter))
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                roots = self.roots(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, roots, set())
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.Raise):
+            self.roots(stmt.exc)
+            self.roots(stmt.cause)
+        elif isinstance(stmt, ast.Assert):
+            self.roots(stmt.test)
+            self.roots(stmt.msg)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._mutate_target(target, stmt.lineno)
+        # nested defs/imports/pass/etc: nothing to track
+
+
+def method_effects(index: ProjectIndex, cls: ClassInfo,
+                   method_name: str) -> Optional[MethodEffects]:
+    """Effects of ``cls.method_name`` (resolved through the MRO)."""
+    found = index.find_method(cls, method_name)
+    if found is None:
+        return None
+    _, fn = found
+    analyzer = _MethodAnalyzer(method_name, index.all_method_names(cls))
+    return analyzer.run(fn)
+
+
+def closure_mutations(index: ProjectIndex, cls: ClassInfo,
+                      entries: Iterable[str]
+                      ) -> Dict[str, Tuple[int, str]]:
+    """Mutated self attributes over the same-class call closure of
+    ``entries`` — what the snapshot and symmetry passes reason about."""
+    mutations: Dict[str, Tuple[int, str]] = {}
+    visited: Set[str] = set()
+    queue = list(entries)
+    while queue:
+        name = queue.pop(0)
+        if name in visited:
+            continue
+        visited.add(name)
+        effects = method_effects(index, cls, name)
+        if effects is None:
+            continue
+        for attr, where in effects.mutations.items():
+            mutations.setdefault(attr, where)
+        queue.extend(effects.own_calls)
+    return mutations
+
+
+def self_attribute_reads(fn: ast.FunctionDef) -> Set[str]:
+    """Every ``self.<attr>`` mentioned anywhere in a method body."""
+    reads: Set[str] = set()
+    for node in ast.walk(fn):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            reads.add(node.attr)
+    return reads
+
+
+def dotted_parts(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ("a", "b", "c"); None if the chain isn't Name-rooted."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None

@@ -1,0 +1,192 @@
+"""Scheme-API conformance — pass 4 of ``python -m repro check``.
+
+The five schemes are interchangeable behind ``TimingScheme``: the
+hierarchy calls the same surface on all of them, and the sweep engine
+registers them in the ``_SCHEMES`` dict of ``repro.schemes``.  The pass
+verifies three things:
+
+* every registered scheme resolves each public ``TimingScheme`` method
+  to a concrete (non-``NotImplementedError``) definition somewhere in
+  its MRO (``api-missing-method``);
+* overrides keep the base signature — argument names, kinds, and
+  default counts (``api-signature-mismatch``), so call sites using
+  keywords cannot break under one scheme only;
+* single-underscore methods/functions are not called across module
+  boundaries (``api-private-crossmodule``) — privates are free to churn
+  precisely because nothing outside their module may depend on them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from .astutils import ClassInfo, ModuleInfo, ProjectIndex
+from .findings import Finding
+
+_BASE_CLASS = "TimingScheme"
+_REGISTRY_NAME = "_SCHEMES"
+
+
+def _registry_classes(index: ProjectIndex
+                      ) -> List[Tuple[ModuleInfo, int, ClassInfo]]:
+    """Classes named as values of a top-level ``_SCHEMES = {...}``."""
+    out: List[Tuple[ModuleInfo, int, ClassInfo]] = []
+    for module in index.modules.values():
+        for node in module.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [t.id for t in node.targets
+                       if isinstance(t, ast.Name)]
+            if _REGISTRY_NAME not in targets:
+                continue
+            if not isinstance(node.value, ast.Dict):
+                continue
+            for value in node.value.values:
+                if isinstance(value, ast.Name):
+                    cls = index.resolve_class(value.id, module)
+                    if cls is not None:
+                        out.append((module, value.lineno, cls))
+    return out
+
+
+def _is_abstract(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name == "NotImplementedError":
+                return True
+    return False
+
+
+def _signature(fn: ast.FunctionDef):
+    args = fn.args
+    return (
+        tuple(a.arg for a in args.posonlyargs),
+        tuple(a.arg for a in args.args),
+        args.vararg.arg if args.vararg else None,
+        tuple(a.arg for a in args.kwonlyargs),
+        args.kwarg.arg if args.kwarg else None,
+        len(args.defaults),
+        sum(1 for d in args.kw_defaults if d is not None),
+    )
+
+
+def _check_registry(index: ProjectIndex,
+                    findings: List[Finding]) -> None:
+    base_cls = index.resolve_class(_BASE_CLASS)
+    entries = _registry_classes(index)
+    if base_cls is None or not entries:
+        return
+    required = {
+        name: fn for name, fn in base_cls.methods.items()
+        if not name.startswith("_")
+    }
+    base_init = base_cls.methods.get("__init__")
+    for module, _line, cls in entries:
+        mro = index.mro(cls)
+        if base_cls not in mro:
+            findings.append(Finding(
+                cls.module.display, cls.node.lineno, "api-missing-method",
+                f"{cls.name} is registered in {_REGISTRY_NAME} but does "
+                f"not derive from {_BASE_CLASS}",
+            ))
+            continue
+        for name, base_fn in sorted(required.items()):
+            found = index.find_method(cls, name)
+            if found is None or _is_abstract(found[1]):
+                findings.append(Finding(
+                    cls.module.display, cls.node.lineno,
+                    "api-missing-method",
+                    f"{cls.name} does not implement "
+                    f"{_BASE_CLASS}.{name} (missing or still "
+                    "NotImplementedError)",
+                ))
+                continue
+            owner, fn = found
+            if owner is base_cls:
+                continue
+            if _signature(fn) != _signature(base_fn):
+                findings.append(Finding(
+                    owner.module.display, fn.lineno,
+                    "api-signature-mismatch",
+                    f"{owner.name}.{name} signature differs from "
+                    f"{_BASE_CLASS}.{name}",
+                ))
+        # __init__ must stay compatible too: the registry constructs
+        # every scheme through one call site
+        if base_init is not None:
+            found = index.find_method(cls, "__init__")
+            if found is not None and found[0] is not base_cls:
+                owner, fn = found
+                if _signature(fn) != _signature(base_init):
+                    findings.append(Finding(
+                        owner.module.display, fn.lineno,
+                        "api-signature-mismatch",
+                        f"{owner.name}.__init__ signature differs from "
+                        f"{_BASE_CLASS}.__init__",
+                    ))
+
+
+def _private_definitions(index: ProjectIndex) -> Dict[str, Set[str]]:
+    """name -> modules defining a single-underscore method/function."""
+    defs: Dict[str, Set[str]] = {}
+    for module in index.modules.values():
+        for node in module.tree.body:
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and _is_private(node.name)):
+                defs.setdefault(node.name, set()).add(module.relkey)
+        for cls in module.classes.values():
+            for name in cls.methods:
+                if _is_private(name):
+                    defs.setdefault(name, set()).add(module.relkey)
+    return defs
+
+
+def _is_private(name: str) -> bool:
+    return (name.startswith("_") and not name.startswith("__")
+            and not name.endswith("__"))
+
+
+def _check_private_calls(index: ProjectIndex,
+                         findings: List[Finding]) -> None:
+    defs = _private_definitions(index)
+    for module in index.modules.values():
+        local_privates = {
+            name for name, modules in defs.items()
+            if module.relkey in modules
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if not _is_private(func.attr):
+                continue
+            receiver = func.value
+            if (isinstance(receiver, ast.Name)
+                    and receiver.id in {"self", "cls"}):
+                continue
+            if func.attr not in defs:
+                continue  # unknown private (stdlib etc.): skip
+            if func.attr in local_privates:
+                continue  # defined in this module: in-module use is fine
+            origins = ", ".join(sorted(defs[func.attr]))
+            findings.append(Finding(
+                module.display, node.lineno, "api-private-crossmodule",
+                f"call to underscore-private {func.attr!r} (defined in "
+                f"{origins}) across a module boundary",
+            ))
+
+
+def check_conformance(index: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    _check_registry(index, findings)
+    _check_private_calls(index, findings)
+    return findings

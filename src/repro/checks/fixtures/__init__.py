@@ -1,0 +1,8 @@
+"""Fixture files for the ``repro check`` self-test.
+
+These modules are **parsed, never imported** — they contain deliberate
+violations, one per ``# expect: <rule[,rule]>`` annotation, and the
+self-test (``python -m repro check --selftest``) asserts the checker
+reports exactly those (file, line, rule) triples and nothing else.
+The default ``repro check`` run excludes this directory.
+"""

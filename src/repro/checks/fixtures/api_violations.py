@@ -1,0 +1,48 @@
+"""Seeded scheme-API conformance violations (parsed only).
+
+This fixture carries its own ``TimingScheme`` and ``_SCHEMES`` registry
+so the conformance pass resolves everything inside the fixture set."""
+
+
+class TimingScheme:
+    def __init__(self, config, l2, memory, engine, layout):
+        self.config = config
+
+    def handle_data_miss(self, address, now, is_store):
+        raise NotImplementedError
+
+    def handle_writeback(self, address, now):
+        raise NotImplementedError
+
+    def data_address(self, address):
+        return address
+
+    def snapshot_state(self):
+        return ()
+
+
+class HalfScheme(TimingScheme):  # expect: api-missing-method
+    """Implements the miss path but leaves the writeback abstract."""
+
+    def handle_data_miss(self, address, now, is_store):
+        return now
+
+
+class RenamedScheme(TimingScheme):
+    """Renamed arguments break keyword call sites under one scheme."""
+
+    def handle_data_miss(self, addr, now, write):  # expect: api-signature-mismatch
+        return now
+
+    def handle_writeback(self, address, now):
+        return now
+
+
+_SCHEMES = {
+    "half": HalfScheme,
+    "renamed": RenamedScheme,
+}
+
+
+def poke_private(thing):
+    return thing._internal_step()  # expect: api-private-crossmodule

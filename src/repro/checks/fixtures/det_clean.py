@@ -1,0 +1,27 @@
+"""Clean determinism patterns — the negative cases (zero expects)."""
+
+import random
+import time
+
+
+class SeededStream:
+    """The idiom the lint demands: an injected, explicitly seeded RNG."""
+
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+        self.pending = set()
+
+    def draw(self):
+        return self.rng.random()
+
+    def ordered_drain(self):
+        return [item for item in sorted(self.pending)]
+
+    def _internal_step(self):
+        return self.rng.getrandbits(8)
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

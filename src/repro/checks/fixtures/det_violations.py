@@ -1,0 +1,60 @@
+"""Seeded determinism violations — parsed by the selftest, never run."""
+
+import datetime
+import os
+import random
+import time
+
+
+def global_draw():
+    return random.random()  # expect: det-global-random
+
+
+def global_range():
+    return random.randrange(10)  # expect: det-global-random
+
+
+def unseeded():
+    return random.Random()  # expect: det-unseeded-rng
+
+
+def wallclock():
+    return time.time()  # expect: det-wallclock
+
+
+def wallclock_datetime():
+    return datetime.datetime.now()  # expect: det-wallclock
+
+
+def entropy():
+    return os.urandom(8)  # expect: det-entropy
+
+
+def seed_sensitive(tag):
+    return hash(tag)  # expect: det-builtin-hash
+
+
+def set_loop():
+    pending = {"a", "b", "c"}
+    for name in pending:  # expect: det-set-iteration
+        print(name)
+
+
+def set_comprehension(counters):
+    return [n for n in set(counters)]  # expect: det-set-iteration
+
+
+def local_import():
+    import random as _random  # expect: det-local-import
+    return _random
+
+
+class PendingTracker:
+    """Set-typed attribute iterated without an order: hash-seed bug."""
+
+    def __init__(self):
+        self.pending = set()
+
+    def drain(self):
+        for item in self.pending:  # expect: det-set-iteration
+            print(item)

@@ -1,0 +1,27 @@
+"""Allowlist negative case (zero expects): a class named ``CacheSim``
+rebinding its counter alias on the warm path exactly like the real one.
+The counter-exclusion allowlist covers ``_counters``, so the snapshot
+pass stays silent — proof the allowlist keys on the class name."""
+
+
+class CacheSim:
+    def __init__(self):
+        self._sets = [[] for _ in range(4)]
+        self.stats = {}
+        self._counters = self.stats
+
+    def warm_access(self, address):
+        ways = self._sets[address % 4]
+        ways.insert(0, address)
+        self._counters = {}
+
+    def divert_counters(self, on):
+        self._counters = {} if on else self.stats
+
+    def snapshot(self):
+        return ([list(ways) for ways in self._sets], dict(self.stats))
+
+    def restore(self, state):
+        self._sets = [list(ways) for ways in state[0]]
+        self.stats.clear()
+        self.stats.update(state[1])

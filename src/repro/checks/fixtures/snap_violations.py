@@ -1,0 +1,32 @@
+"""Seeded snapshot-completeness violations (parsed only)."""
+
+
+class LeakyCache:
+    """Mutates ``_touched`` on the warm path but never snapshots it —
+    the exact bug class that corrupts warm-shared sweep cells."""
+
+    def __init__(self):
+        self._sets = [0, 0, 0, 0]
+        self._touched = 0
+        self.stats = {}
+
+    def warm_access(self, address):
+        self._sets[address % 4] = address
+        self._touched += 1  # expect: snap-missing-field
+
+    def snapshot(self):
+        return (list(self._sets), dict(self.stats))
+
+    def restore(self, state):
+        self._sets = list(state[0])
+        self.stats = dict(state[1])
+
+
+class Snapshotless:  # expect: snap-no-snapshot
+    """Warm-path entry points with no snapshot protocol at all."""
+
+    def __init__(self):
+        self._lines = {}
+
+    def warm_fill(self, address):
+        self._lines[address] = True

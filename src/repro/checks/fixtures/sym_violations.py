@@ -1,0 +1,30 @@
+"""Seeded counter-symmetry violation (parsed only)."""
+
+
+class SkewedTLB:
+    """``warm_access`` forgets the recency-order update its counted twin
+    performs — a warmed TLB would evict differently than a measured one."""
+
+    def __init__(self):
+        self._entries = {}
+        self._order = []
+        self._counters = {}
+        self.stats = {}
+
+    def access(self, vpn):
+        self._entries[vpn] = True
+        self._order.append(vpn)
+        self._counters["hits"] = self._counters.get("hits", 0) + 1
+
+    def warm_access(self, vpn):  # expect: sym-counter-asymmetry
+        self._entries[vpn] = True
+
+    def snapshot(self):
+        return (dict(self._entries), list(self._order),
+                dict(self._counters), dict(self.stats))
+
+    def restore(self, state):
+        self._entries = dict(state[0])
+        self._order = list(state[1])
+        self._counters = dict(state[2])
+        self.stats = dict(state[3])

@@ -1,0 +1,17 @@
+"""Waiver syntax cases: one valid (suppresses), two invalid (do not)."""
+
+import random
+
+
+def justified():
+    # repro-check: disable=det-global-random -- fixture: demonstrates a valid waiver covering the next line
+    return random.random()
+
+
+def missing_justification():
+    return random.random()  # repro-check: disable=det-global-random  # expect: waiver-missing-justification,det-global-random
+
+
+def unknown_rule():
+    # repro-check: disable=det-no-such-rule -- fixture: rule id does not exist  # expect: waiver-unknown-rule
+    return 1

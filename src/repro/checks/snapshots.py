@@ -1,0 +1,160 @@
+"""Snapshot-completeness checker — pass 2 of ``python -m repro check``.
+
+Warm-state snapshot sharing (PR 2) measures many sweep cells from one
+restored ``MemoryHierarchy.snapshot()``.  The contract is: every
+attribute the warm path can mutate is either captured by the class's
+``snapshot()``/``snapshot_state()`` or on an explicit allowlist with a
+written justification.  An attribute that slips through both nets is
+exactly the bug class that corrupts warm-shared cells undetected — a
+restored cell would start from different functional state than a
+from-scratch one.
+
+Mechanics: a *target* is any class that (a) has warm-path entry points
+(``warm_*`` methods, ``divert_counters``/``set_warm_mode``, or the
+``TimingScheme`` surface) and (b) has a snapshot method somewhere in its
+bases — (a) without (b) is itself the ``snap-no-snapshot`` finding.
+For each target the pass takes the same-class call closure of the entry
+points (``astutils.closure_mutations``), collects every ``self.<attr>``
+those methods can mutate (alias-aware: ``ways = self._sets[i]`` then
+``ways.insert(...)`` counts against ``_sets``), and requires each to be
+*read* somewhere in the snapshot method or allowlisted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .astutils import (
+    ClassInfo, ProjectIndex, closure_mutations, self_attribute_reads,
+)
+from .findings import Finding
+
+#: Deliberately-unsnapshotted attributes, keyed by the class (anywhere
+#: in the MRO) that owns the justification.  Every entry needs a reason:
+#: this is the "counter-exclusion allowlist" the docs describe.
+SNAPSHOT_ALLOWLIST: Dict[str, Dict[str, str]] = {
+    "CacheSim": {
+        "_counters": (
+            "alias rebound by divert_counters between stats.counters and "
+            "a scratch dict; snapshot captures stats.counters, the only "
+            "binding that survives warm-up"
+        ),
+        "_kind_keys": (
+            "pure memo of per-kind counter-key tuples; rebuilt on demand "
+            "from immutable kind names, identical in every process"
+        ),
+    },
+    "TLBSim": {
+        "_counters": (
+            "alias rebound by divert_counters; stats.counters is the "
+            "snapshotted binding"
+        ),
+    },
+    "TimingScheme": {
+        "l2": (
+            "borrowed component: MemoryHierarchy.snapshot() captures the "
+            "L2 cache itself"
+        ),
+        "memory": (
+            "borrowed component: MemoryHierarchy.snapshot() captures the "
+            "DRAM model itself"
+        ),
+        "engine": (
+            "borrowed component: MemoryHierarchy.snapshot() captures the "
+            "hash engine itself"
+        ),
+    },
+}
+
+#: non-``warm_*`` entry points that run during warm-up when present.
+EXTRA_ENTRIES = ("divert_counters", "set_warm_mode")
+
+#: the scheme surface exercised while warming (misses happen during
+#: warm-up too; only the timing accounting is diverted).
+SCHEME_ENTRIES = ("handle_data_miss", "handle_writeback", "fill_l2")
+
+_SNAPSHOT_METHODS = ("snapshot", "snapshot_state")
+
+
+def _warm_entries(index: ProjectIndex, cls: ClassInfo) -> List[str]:
+    entries: List[str] = []
+    for name in sorted(index.all_method_names(cls)):
+        if name.startswith("warm_") or name.startswith("_warm_"):
+            entries.append(name)
+    return entries
+
+
+def _counted_twin(name: str) -> str:
+    if name.startswith("warm_"):
+        return name[len("warm_"):]
+    if name.startswith("_warm_"):
+        return "_" + name[len("_warm_"):]
+    return name
+
+
+def _allowlisted(index: ProjectIndex, cls: ClassInfo) -> Dict[str, str]:
+    merged: Dict[str, str] = {}
+    for name in index.mro_names(cls):
+        merged.update(SNAPSHOT_ALLOWLIST.get(name, {}))
+    return merged
+
+
+def _snapshot_reads(index: ProjectIndex, cls: ClassInfo) -> Set[str]:
+    reads: Set[str] = set()
+    found_any = False
+    for method in _SNAPSHOT_METHODS:
+        found = index.find_method(cls, method)
+        if found is not None:
+            found_any = True
+            reads.update(self_attribute_reads(found[1]))
+    return reads if found_any else set()
+
+
+def _has_snapshot(index: ProjectIndex, cls: ClassInfo) -> bool:
+    return any(index.find_method(cls, m) is not None
+               for m in _SNAPSHOT_METHODS)
+
+
+def check_snapshots(index: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for cls in index.classes():
+        warm = _warm_entries(index, cls)
+        is_scheme = "TimingScheme" in index.mro_names(cls)
+        if not warm and not is_scheme:
+            continue
+
+        entries = list(warm)
+        all_methods = index.all_method_names(cls)
+        for extra in EXTRA_ENTRIES:
+            if extra in all_methods:
+                entries.append(extra)
+        if is_scheme:
+            entries.extend(m for m in SCHEME_ENTRIES if m in all_methods)
+        # counted twins run between warm-up and measurement restore too
+        entries.extend(t for t in (_counted_twin(w) for w in warm)
+                       if t in all_methods)
+
+        if not _has_snapshot(index, cls):
+            findings.append(Finding(
+                cls.module.display, cls.node.lineno, "snap-no-snapshot",
+                f"{cls.name} has warm-path entry points "
+                f"({', '.join(warm) or 'scheme surface'}) but no "
+                "snapshot()/snapshot_state() method in its bases",
+            ))
+            continue
+
+        covered = _snapshot_reads(index, cls)
+        allowlist = _allowlisted(index, cls)
+        mutations = closure_mutations(index, cls, entries)
+        for attr in sorted(mutations):
+            if attr in covered or attr in allowlist:
+                continue
+            line, via = mutations[attr]
+            findings.append(Finding(
+                cls.module.display, line, "snap-missing-field",
+                f"{cls.name}.{attr} is mutated on the warm path "
+                f"(via {via}) but is neither read by "
+                "snapshot()/snapshot_state() nor on the "
+                "counter-exclusion allowlist",
+            ))
+    return findings

@@ -1,0 +1,68 @@
+"""Counter-symmetry checker — pass 3 of ``python -m repro check``.
+
+Packed warm-up replays through counter-free twins of the hot-path
+methods: ``warm_access``/``access``, ``warm_fill``/``fill``,
+``_warm_l1_miss``/``_l1_miss``, ...  The twins exist purely to skip
+statistics bookkeeping, so they must perform the *same functional state
+transitions* as their counted counterparts — otherwise a warmed cache is
+not the cache the measured run would have produced, and the packed-warm
+and object-warm paths silently diverge.
+
+The pass pairs methods by naming convention (``warm_X`` ↔ ``X``,
+``_warm_X`` ↔ ``_X``; a warm method without a twin — the ``warm``/
+``warm_packed`` orchestrators — is skipped), computes each side's
+mutated-attribute set over its same-class call closure, subtracts the
+declared counter attributes, and flags any remaining difference.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .astutils import ProjectIndex, closure_mutations
+from .findings import Finding
+
+#: statistics-only attributes the counted path may touch and the warm
+#: path may not (or vice versa) without breaking functional symmetry.
+COUNTER_ATTRS = frozenset({"stats", "_counters", "_kind_keys"})
+
+
+def _twin_name(name: str) -> str:
+    if name.startswith("warm_"):
+        return name[len("warm_"):]
+    if name.startswith("_warm_"):
+        return "_" + name[len("_warm_"):]
+    return ""
+
+
+def check_symmetry(index: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for cls in index.classes():
+        # pair only methods defined directly on this class: inherited
+        # pairs are checked on the defining class
+        for warm_name, warm_fn in sorted(cls.methods.items()):
+            twin = _twin_name(warm_name)
+            if not twin or twin in ("", warm_name):
+                continue
+            if index.find_method(cls, twin) is None:
+                continue  # orchestrator without a counted twin
+            warm_set = set(closure_mutations(index, cls, [warm_name]))
+            counted_set = set(closure_mutations(index, cls, [twin]))
+            warm_only = sorted((warm_set - counted_set) - COUNTER_ATTRS)
+            counted_only = sorted((counted_set - warm_set) - COUNTER_ATTRS)
+            if not warm_only and not counted_only:
+                continue
+            details = []
+            if counted_only:
+                details.append(
+                    f"{twin} also mutates {{{', '.join(counted_only)}}}")
+            if warm_only:
+                details.append(
+                    f"{warm_name} also mutates {{{', '.join(warm_only)}}}")
+            findings.append(Finding(
+                cls.module.display, warm_fn.lineno, "sym-counter-asymmetry",
+                f"{cls.name}.{warm_name} and {cls.name}.{twin} mutate "
+                f"different functional state: {'; '.join(details)} "
+                "(beyond the declared counter attributes)",
+            ))
+    return findings

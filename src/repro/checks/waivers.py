@@ -1,0 +1,72 @@
+"""Inline waivers: ``# repro-check: disable=<rule,...> -- <justification>``.
+
+A waiver suppresses matching findings on its own line and on the line
+directly below it (so it can sit at the end of the offending line or on
+a comment line above).  Two things make a waiver *invalid* — and an
+invalid waiver suppresses nothing, it instead becomes a finding itself:
+
+* no ``-- <justification>`` trailer (``waiver-missing-justification``);
+* a rule id that is not in the :data:`~repro.checks.findings.RULES`
+  registry (``waiver-unknown-rule``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+from .findings import Finding, RULES
+
+_WAIVER_RE = re.compile(r"#\s*repro-check:\s*disable=([\w,\-]+)")
+_JUSTIFICATION_RE = re.compile(r"--\s*(\S.*)")
+
+
+def scan_waivers(display_path: str, lines: List[str]
+                 ) -> Tuple[Dict[int, Set[str]], List[Finding]]:
+    """Parse waiver comments from one file's source lines.
+
+    Returns ``(suppressions, findings)`` where ``suppressions`` maps a
+    1-based line number to the rule ids waived there, and ``findings``
+    are the violations of the waiver syntax itself.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    findings: List[Finding] = []
+    for lineno, line in enumerate(lines, start=1):
+        match = _WAIVER_RE.search(line)
+        if match is None:
+            continue
+        rules = [r.strip() for r in match.group(1).split(",") if r.strip()]
+        remainder = line[match.end():]
+        justification = _JUSTIFICATION_RE.search(remainder)
+        valid = True
+        if justification is None:
+            findings.append(Finding(
+                display_path, lineno, "waiver-missing-justification",
+                f"waiver for {','.join(rules)} has no "
+                "`-- <justification>` trailer and is ignored",
+            ))
+            valid = False
+        unknown = [r for r in rules if r not in RULES]
+        for rule in unknown:
+            findings.append(Finding(
+                display_path, lineno, "waiver-unknown-rule",
+                f"waiver names unknown rule {rule!r}",
+            ))
+        known = [r for r in rules if r in RULES]
+        if valid and known:
+            for covered in (lineno, lineno + 1):
+                suppressions.setdefault(covered, set()).update(known)
+    return suppressions, findings
+
+
+def apply_waivers(findings: List[Finding],
+                  suppressions_by_path: Dict[str, Dict[int, Set[str]]]
+                  ) -> List[Finding]:
+    """Drop findings covered by a valid waiver on/above their line."""
+    kept: List[Finding] = []
+    for finding in findings:
+        waived = suppressions_by_path.get(finding.path, {})
+        if finding.rule in waived.get(finding.line, ()):
+            continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,243 @@
+"""Tests for the ``repro check`` static-analysis gate.
+
+Three layers:
+
+* the fixture-driven self-test (every rule has a positive case; the
+  clean fixtures stay silent),
+* waiver syntax semantics on synthetic files,
+* **injection tests** — mutate the real simulator sources (an
+  unsnapshotted field on the warm path, a dropped state transition in a
+  warm twin) and assert the relevant pass catches exactly that, which is
+  the acceptance-criteria proof that snapshot completeness is actually
+  enforced rather than vacuously true.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.checks import (
+    COUNTER_ATTRS, RULES, SNAPSHOT_ALLOWLIST, collect_findings,
+    format_findings, run_selftest,
+)
+from repro.checks.astutils import ProjectIndex, load_module
+from repro.checks.findings import Finding
+from repro.checks.runner import fixtures_root, run_passes
+
+REPO = Path(__file__).resolve().parents[1]
+CACHE_PY = REPO / "src" / "repro" / "cache" / "cache.py"
+HIERARCHY_PY = REPO / "src" / "repro" / "cache" / "hierarchy.py"
+
+
+def _check_file(path: Path):
+    return collect_findings(paths=[path], assume_sim=True)
+
+
+class TestCleanTree:
+    def test_real_tree_has_no_findings(self):
+        findings = collect_findings()
+        assert findings == [], format_findings(findings)
+
+    def test_selftest_passes(self):
+        ok, report = run_selftest()
+        assert ok, "\n".join(report)
+
+
+class TestFixtures:
+    @pytest.fixture(scope="class")
+    def fixture_findings(self):
+        root = fixtures_root()
+        paths = sorted(root.glob("*.py"))
+        index = ProjectIndex([load_module(p, root) for p in paths])
+        return run_passes(index, assume_sim=True)
+
+    def test_every_rule_has_a_positive_case(self, fixture_findings):
+        fired = {f.rule for f in fixture_findings}
+        assert fired == set(RULES), sorted(set(RULES) - fired)
+
+    def test_clean_fixtures_stay_silent(self, fixture_findings):
+        clean = {"det_clean.py", "snap_clean.py"}
+        noisy = [f for f in fixture_findings
+                 if Path(f.path).name in clean]
+        assert noisy == []
+
+    @pytest.mark.parametrize("name, rule", [
+        ("det_violations.py", "det-global-random"),
+        ("det_violations.py", "det-builtin-hash"),
+        ("det_violations.py", "det-set-iteration"),
+        ("snap_violations.py", "snap-missing-field"),
+        ("snap_violations.py", "snap-no-snapshot"),
+        ("sym_violations.py", "sym-counter-asymmetry"),
+        ("api_violations.py", "api-missing-method"),
+        ("api_violations.py", "api-signature-mismatch"),
+        ("api_violations.py", "api-private-crossmodule"),
+    ])
+    def test_rule_fires_in_expected_fixture(self, fixture_findings,
+                                            name, rule):
+        assert any(Path(f.path).name == name and f.rule == rule
+                   for f in fixture_findings)
+
+
+class TestWaivers:
+    def _write(self, tmp_path, body):
+        path = tmp_path / "waived.py"
+        path.write_text(body)
+        return path
+
+    def test_valid_waiver_suppresses(self, tmp_path):
+        path = self._write(tmp_path, (
+            "import random\n"
+            "def f():\n"
+            "    # repro-check: disable=det-global-random -- test: draws discarded\n"
+            "    return random.random()\n"
+        ))
+        assert _check_file(path) == []
+
+    def test_same_line_waiver_suppresses(self, tmp_path):
+        path = self._write(tmp_path, (
+            "import random\n"
+            "def f():\n"
+            "    return random.random()  "
+            "# repro-check: disable=det-global-random -- test: same line\n"
+        ))
+        assert _check_file(path) == []
+
+    def test_missing_justification_does_not_suppress(self, tmp_path):
+        path = self._write(tmp_path, (
+            "import random\n"
+            "def f():\n"
+            "    return random.random()  # repro-check: disable=det-global-random\n"
+        ))
+        rules = {f.rule for f in _check_file(path)}
+        assert rules == {"waiver-missing-justification", "det-global-random"}
+
+    def test_unknown_rule_is_flagged(self, tmp_path):
+        path = self._write(tmp_path, (
+            "# repro-check: disable=no-such-rule -- test: bogus id\n"
+            "x = 1\n"
+        ))
+        rules = {f.rule for f in _check_file(path)}
+        assert rules == {"waiver-unknown-rule"}
+
+    def test_waiver_only_covers_adjacent_line(self, tmp_path):
+        path = self._write(tmp_path, (
+            "import random\n"
+            "def f():\n"
+            "    # repro-check: disable=det-global-random -- test: covers next line only\n"
+            "    x = 1\n"
+            "    return random.random()\n"
+        ))
+        rules = [f.rule for f in _check_file(path)]
+        assert rules == ["det-global-random"]
+
+    def test_waiver_is_rule_specific(self, tmp_path):
+        path = self._write(tmp_path, (
+            "import random\n"
+            "def f():\n"
+            "    # repro-check: disable=det-wallclock -- test: wrong rule waived\n"
+            "    return random.random()\n"
+        ))
+        rules = [f.rule for f in _check_file(path)]
+        assert rules == ["det-global-random"]
+
+
+class TestSnapshotInjection:
+    """Acceptance-criteria proof: inject an unsnapshotted field into the
+    real warm path and watch the checker catch it."""
+
+    def _mutated(self, tmp_path, source_path, anchor, injected):
+        source = source_path.read_text()
+        assert anchor in source, f"anchor vanished from {source_path}"
+        path = tmp_path / source_path.name
+        path.write_text(source.replace(anchor, injected + anchor))
+        return path
+
+    def test_unsnapshotted_field_in_cache_warm_access(self, tmp_path):
+        path = self._mutated(
+            tmp_path, CACHE_PY,
+            "offset_bits = self._offset_bits",
+            "self._leak = 1\n        ",
+        )
+        findings = [f for f in _check_file(path)
+                    if f.rule == "snap-missing-field"]
+        assert findings, "injected field not caught"
+        assert all("_leak" in f.message for f in findings)
+        assert any("CacheSim" in f.message for f in findings)
+
+    def test_unsnapshotted_field_in_hierarchy_warm_packed(self, tmp_path):
+        path = self._mutated(
+            tmp_path, HIERARCHY_PY,
+            "l1i_warm = self.l1i.warm_access",
+            "self._leak = 0\n        ",
+        )
+        findings = [f for f in _check_file(path)
+                    if f.rule == "snap-missing-field"]
+        assert findings, "injected field not caught"
+        assert any("MemoryHierarchy._leak" in f.message for f in findings)
+
+    def test_aliased_mutation_is_attributed(self, tmp_path):
+        """``ways = self._sets[i]; ways.insert(...)`` must count against
+        ``_sets`` — remove ``_sets`` from snapshot() and the pass fires."""
+        source = CACHE_PY.read_text()
+        anchor = "[list(ways) for ways in self._sets]"
+        assert anchor in source
+        path = tmp_path / "cache.py"
+        path.write_text(source.replace(anchor, "[]"))
+        findings = [f for f in _check_file(path)
+                    if f.rule == "snap-missing-field"]
+        assert any("CacheSim._sets" in f.message for f in findings)
+
+    def test_dropped_transition_breaks_symmetry(self, tmp_path):
+        """Delete warm_access's dirty-bit update: the counted twin still
+        mutates ``_dirty``, so the symmetry pass must fire."""
+        source = CACHE_PY.read_text()
+        anchor = ("            if write:\n"
+                  "                self._dirty.add(block)\n"
+                  "            return True\n")
+        assert anchor in source, "warm_access dirty branch moved"
+        path = tmp_path / "cache.py"
+        path.write_text(source.replace(anchor, "            return True\n"))
+        findings = [f for f in _check_file(path)
+                    if f.rule == "sym-counter-asymmetry"]
+        assert findings, "dropped transition not caught"
+        assert any("warm_access" in f.message and "_dirty" in f.message
+                   for f in findings)
+
+
+class TestFindings:
+    def test_text_format(self):
+        finding = Finding("src/x.py", 12, "det-entropy", "boom")
+        assert finding.text() == "src/x.py:12: [det-entropy] boom"
+
+    def test_github_format_is_single_line(self):
+        finding = Finding("src/x.py", 12, "det-entropy", "multi\nline  msg")
+        rendered = finding.github()
+        assert rendered == ("::error file=src/x.py,line=12,"
+                            "title=det-entropy::multi line msg")
+
+    def test_format_findings_switches(self):
+        finding = Finding("a.py", 1, "det-entropy", "m")
+        assert format_findings([finding], "text") == finding.text()
+        assert format_findings([finding], "github") == finding.github()
+
+    def test_findings_sort_by_location(self):
+        a = Finding("a.py", 2, "det-entropy", "m")
+        b = Finding("a.py", 1, "det-wallclock", "m")
+        assert sorted([a, b]) == [b, a]
+
+
+class TestRegistries:
+    def test_counter_attrs_cover_cache_allowlist(self):
+        """The symmetry counter set and the snapshot allowlist agree on
+        what 'statistics-only' means for the cache classes."""
+        for attr in SNAPSHOT_ALLOWLIST["CacheSim"]:
+            assert attr in COUNTER_ATTRS
+
+    def test_every_allowlist_entry_is_justified(self):
+        for owner, entries in SNAPSHOT_ALLOWLIST.items():
+            for attr, why in entries.items():
+                assert isinstance(why, str) and len(why) > 20, (owner, attr)
+
+    def test_rule_ids_are_kebab_case(self):
+        for rule in RULES:
+            assert rule == rule.lower() and " " not in rule

@@ -54,3 +54,45 @@ class TestCLI:
         assert main(["trace", "gzip", path, "-n", "200"]) == 0
         from repro.workloads import load_trace
         assert len(load_trace(path)) == 200
+
+
+class TestCheckCLI:
+    VIOLATION = (
+        "class Leaky:\n"
+        "    def __init__(self):\n"
+        "        self._seen = 0\n"
+        "    def warm_access(self, address):\n"
+        "        self._seen += 1\n"
+        "    def snapshot(self):\n"
+        "        return ()\n"
+    )
+
+    def test_check_clean_tree(self, capsys):
+        assert main(["check"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_selftest(self, capsys):
+        assert main(["check", "--selftest"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        from repro.checks import RULES
+        for rule in RULES:
+            assert rule in out
+
+    def test_check_flags_violation_file(self, capsys, tmp_path):
+        path = tmp_path / "leaky.py"
+        path.write_text(self.VIOLATION)
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "snap-missing-field" in out and "_seen" in out
+
+    def test_check_github_format(self, capsys, tmp_path):
+        path = tmp_path / "leaky.py"
+        path.write_text(self.VIOLATION)
+        assert main(["check", "--format", "github", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=snap-missing-field" in out

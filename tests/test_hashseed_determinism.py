@@ -1,0 +1,70 @@
+"""PYTHONHASHSEED cross-run bit-identity (ISSUE 4 satellite).
+
+Python randomizes str/bytes hashing per process unless PYTHONHASHSEED
+is pinned, which perturbs dict/set iteration order.  Every figure rests
+on results being independent of that: this test runs the same tiny
+2-cell sweep in two subprocesses under *different* hash seeds and
+asserts byte-identical result rows — cycles, full stats dicts, and the
+cell/warm fingerprints.  If any sim code ever iterates a set into
+state, hashes a string into a result, or fingerprints unsorted dict
+output, the two runs diverge and this fails (and ``repro check``'s
+determinism pass should have flagged the cause).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+_SWEEP_SCRIPT = r"""
+import json
+from repro.common import SchemeKind
+from repro.sim.sweep import CellSpec, cell_fingerprint, run_cells, warm_fingerprint
+
+cells = [
+    CellSpec("gzip", SchemeKind.CHASH, instructions=400, warmup=300),
+    CellSpec("gzip", SchemeKind.BASE, instructions=400, warmup=300),
+]
+report = run_cells(cells, jobs=1, cache=None)
+rows = []
+for spec in sorted(report.results, key=lambda s: s.label()):
+    result = report.results[spec]
+    rows.append({
+        "label": spec.label(),
+        "cell_fingerprint": cell_fingerprint(spec),
+        "warm_fingerprint": warm_fingerprint(spec),
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "stats": result.stats,
+    })
+print(json.dumps(rows, sort_keys=True))
+"""
+
+
+def _run_sweep(hash_seed: int) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    proc = subprocess.run(
+        [sys.executable, "-c", _SWEEP_SCRIPT],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_sweep_results_identical_across_hash_seeds():
+    baseline = _run_sweep(0)
+    randomized = _run_sweep(4242)
+    assert baseline == randomized
+
+    rows = json.loads(baseline)
+    assert len(rows) == 2
+    for row in rows:
+        assert row["cycles"] > 0
+        assert row["stats"], "stats dict unexpectedly empty"
+        assert len(row["cell_fingerprint"]) == 64
+        assert len(row["warm_fingerprint"]) == 64
