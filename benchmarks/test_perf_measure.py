@@ -1,0 +1,139 @@
+"""Opt-in perf measurement of the packed measured path: ``REPRO_PERF=1``.
+
+Times one cell's *measured suffix* — restore the shared warm state,
+generate the instruction stream and run the core's analytic schedule
+over it — through the packed column path (``take_packed`` +
+``run_packed``) vs the historical per-``Instruction`` object path
+(``take`` + ``run``), from the same shared warm state.
+
+Two sections are recorded:
+
+* **machinery** — workloads whose footprint sits comfortably inside the
+  2 MB L2 (gzip/vpr/twolf, ≤ 1 MB), so the suffix machinery this PR
+  packed — stream generation and the scheduling loop — dominates the
+  cell and the measurement isolates its speedup.  The headline
+  ``machinery_geomean_speedup`` is computed over these cells on both
+  the base machine and the paper's cached-tree scheme.
+* **end_to_end** — the memory-bound identity benchmarks (gcc/mcf/swim
+  under chash).  There the hash-tree walk, which both paths execute
+  identically, bounds the achievable end-to-end gain (Amdahl), so these
+  rows are context, not the headline.
+
+Timing uses ``time.process_time`` (CPU time) with the GC paused: the
+suffix is pure compute, and CPU time is robust against the scheduler
+noise of shared CI machines.  Like the other perf smokes this only
+*records* wall-clock — thresholds are too machine-dependent to assert
+in CI — but it does assert the bit-identity that makes the speedups
+legitimate.  Writes ``BENCH_measure.json`` next to ``BENCH_warm.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import os
+import time
+
+import pytest
+
+from repro.common import SchemeKind, table1_config
+from repro.sim.system import (
+    MEASURE_PATH_ENV,
+    prepare_warm_state,
+    run_from_warm_state,
+)
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PERF") != "1",
+    reason="perf smoke is opt-in: set REPRO_PERF=1",
+)
+
+OUTPUT = "BENCH_measure.json"
+
+#: L2-resident integer workloads (footprint <= 1 MB): the measured
+#: suffix, not the memory system, is the bottleneck.
+MACHINERY_BENCHMARKS = ("gzip", "vpr", "twolf")
+MACHINERY_SCHEMES = (SchemeKind.BASE, SchemeKind.CHASH)
+#: one profile per access pattern, memory-bound under chash: context rows.
+END_TO_END_BENCHMARKS = ("gcc", "mcf", "swim")
+INSTRUCTIONS = 400_000
+WARMUP = 50_000
+REPEATS = 5
+
+
+def _timed(config, bench, state, path):
+    """Best-of-N CPU time of one path's measured suffix."""
+    os.environ[MEASURE_PATH_ENV] = path
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        gc.collect()
+        gc.disable()
+        start = time.process_time()
+        result = run_from_warm_state(config, bench, state,
+                                     instructions=INSTRUCTIONS)
+        best = min(best, time.process_time() - start)
+        gc.enable()
+    return result, best
+
+
+def _cell(config, bench):
+    """One cell's (object_s, packed_s, speedup) with identity asserted."""
+    state = prepare_warm_state(config, bench, warmup=WARMUP)
+    by_object, object_s = _timed(config, bench, state, "object")
+    by_packed, packed_s = _timed(config, bench, state, "packed")
+
+    # the speedup only counts because the results are identical
+    assert by_packed.cycles == by_object.cycles
+    assert by_packed.instructions == by_object.instructions
+    assert by_packed.stats == by_object.stats
+
+    return {
+        "instructions": INSTRUCTIONS,
+        "object_path_s": round(object_s, 3),
+        "packed_path_s": round(packed_s, 3),
+        "speedup": round(object_s / packed_s, 2),
+    }
+
+
+def _geomean(speedups):
+    return round(
+        pow(2.0, sum(math.log2(s) for s in speedups) / len(speedups)), 2)
+
+
+def test_perf_measure():
+    previous = os.environ.get(MEASURE_PATH_ENV)
+    machinery = {}
+    end_to_end = {}
+    try:
+        for scheme in MACHINERY_SCHEMES:
+            config = table1_config(scheme)
+            for bench in MACHINERY_BENCHMARKS:
+                machinery[f"{scheme.value}/{bench}"] = _cell(config, bench)
+        chash = table1_config(SchemeKind.CHASH)
+        for bench in END_TO_END_BENCHMARKS:
+            end_to_end[f"chash/{bench}"] = _cell(chash, bench)
+    finally:
+        if previous is None:
+            os.environ.pop(MEASURE_PATH_ENV, None)
+        else:
+            os.environ[MEASURE_PATH_ENV] = previous
+
+    suffix = [cell["speedup"] for cell in machinery.values()]
+    context = [cell["speedup"] for cell in end_to_end.values()]
+    record = {
+        "machinery": machinery,
+        "end_to_end": end_to_end,
+        "summary": {
+            "machinery_geomean_speedup": _geomean(suffix),
+            "machinery_min_speedup": min(suffix),
+            "machinery_max_speedup": max(suffix),
+            "end_to_end_geomean_speedup": _geomean(context),
+        },
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {OUTPUT}: measured-suffix speedup "
+          f"x{record['summary']['machinery_geomean_speedup']} (geomean), "
+          + ", ".join(f"{k} x{v['speedup']}" for k, v in machinery.items()))

@@ -93,15 +93,24 @@ class MemoryHierarchy:
         return self._l1_miss(physical, now + self._l1_latency, write=True,
                              kind="data", l1=self.l1d)
 
-    def ifetch(self, address: int, now: int) -> Tuple[int, int]:
-        """Instruction fetch; returns ``(ready, check_done)``."""
-        now += self.itlb.access(address)
+    def ifetch(self, address: int, now: int) -> Tuple[int, int, int]:
+        """Instruction fetch; returns ``(ready, check_done, itlb_cycles)``.
+
+        ``itlb_cycles`` is the I-TLB table-walk penalty folded into
+        ``ready``, reported separately so the core can attribute fetch
+        stalls to the right structure (a TLB-missing, L1-I-hitting fetch
+        is a TLB stall, not an I-cache stall).
+        """
+        itlb_cycles = self.itlb.access(address)
+        now += itlb_cycles
         physical = self.scheme.data_address(address)
         if self.l1i.access(physical, write=False).hit:
             ready = now + self.config.l1i.latency_cycles
-            return ready, ready
-        return self._l1_miss(physical, now + self.config.l1i.latency_cycles,
-                             write=False, kind="instr", l1=self.l1i)
+            return ready, ready, itlb_cycles
+        ready, check_done = self._l1_miss(
+            physical, now + self.config.l1i.latency_cycles,
+            write=False, kind="instr", l1=self.l1i)
+        return ready, check_done, itlb_cycles
 
     # -- internals ------------------------------------------------------------------------
 

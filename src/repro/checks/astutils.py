@@ -257,6 +257,14 @@ class _MethodAnalyzer:
         if isinstance(node, ast.Call):
             self._call(node)
             return set()
+        if isinstance(node, ast.BinOp):
+            # `[0] * n`, `a + b`, `x % y` construct a fresh object for
+            # built-in types — the result never aliases an operand, so
+            # mutating it cannot reach tracked state.  (BoolOp and IfExp
+            # stay in the generic branch: they *return* an operand.)
+            self.roots(node.left)
+            self.roots(node.right)
+            return set()
         if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
                              ast.GeneratorExp)):
             for comp in node.generators:

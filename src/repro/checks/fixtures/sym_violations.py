@@ -1,4 +1,4 @@
-"""Seeded counter-symmetry violation (parsed only)."""
+"""Seeded counter-symmetry violations (parsed only)."""
 
 
 class SkewedTLB:
@@ -28,3 +28,26 @@ class SkewedTLB:
         self._order = list(state[1])
         self._counters = dict(state[2])
         self.stats = dict(state[3])
+
+
+class LossyCore:
+    """``run_packed`` forgets the redirect update its object twin
+    performs — the packed fast path would schedule fetches differently
+    than the oracle, breaking bit-identity (the ``_packed`` suffix
+    pairing rule)."""
+
+    def __init__(self):
+        self._redirect = 0
+        self._retired = []
+        self.stats = {}
+
+    def run(self, instructions):
+        for instruction in instructions:
+            self._retired.append(instruction)
+            self._redirect = instruction
+            self.stats["instructions"] = self.stats.get("instructions", 0) + 1
+
+    def run_packed(self, chunks):  # expect: sym-counter-asymmetry
+        for chunk in chunks:
+            for instruction in chunk:
+                self._retired.append(instruction)

@@ -8,11 +8,18 @@ transitions* as their counted counterparts — otherwise a warmed cache is
 not the cache the measured run would have produced, and the packed-warm
 and object-warm paths silently diverge.
 
+The same discipline covers the packed *measured* path: ``run_packed``
+must drive the hierarchy and core state exactly like ``run``, and
+``take_packed`` must advance the generator exactly like ``take`` —
+anything less and the packed fast path stops being bit-identical to the
+object oracle.
+
 The pass pairs methods by naming convention (``warm_X`` ↔ ``X``,
-``_warm_X`` ↔ ``_X``; a warm method without a twin — the ``warm``/
-``warm_packed`` orchestrators — is skipped), computes each side's
-mutated-attribute set over its same-class call closure, subtracts the
-declared counter attributes, and flags any remaining difference.
+``_warm_X`` ↔ ``_X``, and ``X_packed`` ↔ ``X`` — which also pairs the
+``warm_packed`` ↔ ``warm`` orchestrators; a method without a twin is
+skipped), computes each side's mutated-attribute set over its same-class
+call closure, subtracts the declared counter attributes, and flags any
+remaining difference.
 """
 
 from __future__ import annotations
@@ -27,12 +34,22 @@ from .findings import Finding
 COUNTER_ATTRS = frozenset({"stats", "_counters", "_kind_keys"})
 
 
-def _twin_name(name: str) -> str:
+def _twin_names(name: str) -> List[str]:
+    """Candidate counted-twin names for ``name``, most specific first.
+
+    ``warm_access`` pairs with ``access``; ``_warm_l1_miss`` with
+    ``_l1_miss``; ``run_packed``/``take_packed`` with ``run``/``take``.
+    ``warm_packed`` yields both ``packed`` (via the prefix rule) and
+    ``warm`` (via the suffix rule) — whichever exists on the class wins.
+    """
+    candidates: List[str] = []
     if name.startswith("warm_"):
-        return name[len("warm_"):]
-    if name.startswith("_warm_"):
-        return "_" + name[len("_warm_"):]
-    return ""
+        candidates.append(name[len("warm_"):])
+    elif name.startswith("_warm_"):
+        candidates.append("_" + name[len("_warm_"):])
+    if name.endswith("_packed") and len(name) > len("_packed"):
+        candidates.append(name[:-len("_packed")])
+    return [c for c in candidates if c and c != name]
 
 
 def check_symmetry(index: ProjectIndex) -> List[Finding]:
@@ -41,10 +58,9 @@ def check_symmetry(index: ProjectIndex) -> List[Finding]:
         # pair only methods defined directly on this class: inherited
         # pairs are checked on the defining class
         for warm_name, warm_fn in sorted(cls.methods.items()):
-            twin = _twin_name(warm_name)
-            if not twin or twin in ("", warm_name):
-                continue
-            if index.find_method(cls, twin) is None:
+            twin = next((c for c in _twin_names(warm_name)
+                         if index.find_method(cls, c) is not None), "")
+            if not twin:
                 continue  # orchestrator without a counted twin
             warm_set = set(closure_mutations(index, cls, [warm_name]))
             counted_set = set(closure_mutations(index, cls, [twin]))

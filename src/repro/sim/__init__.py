@@ -3,9 +3,11 @@
 from .results import SimResult
 from .sweep import baseline_of, run_grid
 from .system import (
+    MEASURE_PATH_ENV,
     SimulatedSystem,
     WarmState,
     default_warmup,
+    packed_measure_default,
     prepare_warm_state,
     run_benchmark,
     run_from_warm_state,
@@ -15,9 +17,11 @@ __all__ = [
     "SimResult",
     "baseline_of",
     "run_grid",
+    "MEASURE_PATH_ENV",
     "SimulatedSystem",
     "WarmState",
     "default_warmup",
+    "packed_measure_default",
     "prepare_warm_state",
     "run_benchmark",
     "run_from_warm_state",

@@ -44,7 +44,7 @@ from .spec import CellSpec
 
 #: Bump when simulator changes alter results for an unchanged config —
 #: old cache entries then read as misses instead of stale hits.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 
 def to_canonical(value: Any) -> Any:

@@ -22,6 +22,7 @@ from ...common.config import SchemeKind, SystemConfig, table1_config
 CELL_PARAMS = (
     "l2_size",
     "l2_block",
+    "l1i_block",
     "hash_throughput",
     "buffer_entries",
     "blocks_per_chunk",
@@ -40,6 +41,7 @@ def cell_param_defaults() -> Dict[str, object]:
     return {
         "l2_size": base.l2.size_bytes,
         "l2_block": base.l2.block_bytes,
+        "l1i_block": base.l1i.block_bytes,
         "hash_throughput": base.hash_engine.throughput_gb_per_s,
         "buffer_entries": base.hash_engine.read_buffer_entries,
         "blocks_per_chunk": base.blocks_per_chunk,
@@ -60,6 +62,7 @@ class CellSpec:
     scheme: SchemeKind
     l2_size: Optional[int] = None
     l2_block: Optional[int] = None
+    l1i_block: Optional[int] = None
     hash_throughput: Optional[float] = None
     buffer_entries: Optional[int] = None
     blocks_per_chunk: Optional[int] = None
@@ -86,6 +89,12 @@ class CellSpec:
         if self.l2_size is not None or self.l2_block is not None:
             config = config.with_l2(size_bytes=self.l2_size,
                                     block_bytes=self.l2_block)
+        if self.l1i_block is not None:
+            config = dataclasses.replace(
+                config,
+                l1i=dataclasses.replace(config.l1i,
+                                        block_bytes=self.l1i_block),
+            )
         engine_changes = {}
         if self.hash_throughput is not None:
             engine_changes["throughput_gb_per_s"] = self.hash_throughput
@@ -122,6 +131,7 @@ class CellSpec:
         shorts = {
             "l2_size": "l2",
             "l2_block": "blk",
+            "l1i_block": "il1",
             "hash_throughput": "ht",
             "buffer_entries": "buf",
             "blocks_per_chunk": "bpc",

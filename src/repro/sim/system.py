@@ -8,16 +8,31 @@ instruction stream before measuring).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from ..cache.hierarchy import DEFAULT_PROTECTED_BYTES, MemoryHierarchy
 from ..common.config import SystemConfig
 from ..cpu.isa import Instruction
-from ..cpu.ooo import OutOfOrderCore
+from ..cpu.ooo import CoreResult, OutOfOrderCore
 from ..workloads.generators import InstructionStream, WorkloadProfile
 from ..workloads.spec import SPEC_PROFILES
 from .results import SimResult
+
+#: Environment switch for the measured path: ``REPRO_MEASURE=object``
+#: routes :meth:`SimulatedSystem.run_stream` (and therefore
+#: :func:`run_benchmark`, :func:`run_from_warm_state` and every sweep
+#: cell) through the historical per-:class:`Instruction` oracle path
+#: instead of the packed columns.  Results are bit-identical either way
+#: (``tests/test_measured_packed.py`` proves it); the flag exists so the
+#: oracle stays one environment variable away.
+MEASURE_PATH_ENV = "REPRO_MEASURE"
+
+
+def packed_measure_default() -> bool:
+    """Whether measured runs use the packed fast path by default."""
+    return os.environ.get(MEASURE_PATH_ENV, "packed") != "object"
 
 
 class SimulatedSystem:
@@ -31,7 +46,35 @@ class SimulatedSystem:
 
     def run(self, instructions: Sequence[Instruction],
             benchmark: str = "custom", start_cycle: int = 0) -> SimResult:
+        """Run materialized :class:`Instruction` objects (the oracle path)."""
         result = self.core.run(instructions, start_cycle=start_cycle)
+        return self._result(benchmark, result)
+
+    def run_stream(self, stream: InstructionStream, count: int,
+                   benchmark: str = "custom", start_cycle: int = 0,
+                   packed: Optional[bool] = None) -> SimResult:
+        """Measure the next ``count`` instructions of ``stream``.
+
+        The default routes through the packed measured path
+        (:meth:`InstructionStream.take_packed` columns scheduled by
+        :meth:`OutOfOrderCore.run_packed
+        <repro.cpu.ooo.OutOfOrderCore.run_packed>`) — no
+        :class:`Instruction` object is ever allocated, and the
+        :class:`SimResult` is bit-identical to the object path.
+        ``packed=False`` (or ``REPRO_MEASURE=object`` in the environment)
+        selects the historical object path as an oracle.
+        """
+        if packed is None:
+            packed = packed_measure_default()
+        if packed:
+            result = self.core.run_packed(stream.take_packed(count),
+                                          start_cycle=start_cycle)
+        else:
+            result = self.core.run(stream.take(count),
+                                   start_cycle=start_cycle)
+        return self._result(benchmark, result)
+
+    def _result(self, benchmark: str, result: CoreResult) -> SimResult:
         stats = self.hierarchy.all_stats()
         stats.update(self.core.stats.as_dict())
         return SimResult(
@@ -71,14 +114,16 @@ def run_benchmark(
     The prefix replays through the packed fast path
     (:meth:`InstructionStream.packed` feeding
     :meth:`MemoryHierarchy.warm_packed`): no ``Instruction`` objects are
-    allocated until the measured suffix, and the end state is bit-identical
-    to the historical object-stream warm-up.
+    allocated, and the end state is bit-identical to the historical
+    object-stream warm-up.  The measured suffix then runs through the
+    packed measured path (see :meth:`SimulatedSystem.run_stream`) unless
+    ``REPRO_MEASURE=object`` requests the per-object oracle.
 
     ``warmup`` defaults to :func:`default_warmup`.
     """
     system, stream = _warmed_system(config, benchmark, warmup, seed, profile,
                                     protected_bytes)
-    return system.run(stream.take(instructions), benchmark=benchmark)
+    return system.run_stream(stream, instructions, benchmark=benchmark)
 
 
 def _warmed_system(
@@ -172,7 +217,7 @@ def run_from_warm_state(
     system.hierarchy.restore(warm_state.snapshot)
     stream = InstructionStream.from_state(warm_state.profile,
                                           warm_state.stream_state)
-    return system.run(stream.take(instructions), benchmark=benchmark)
+    return system.run_stream(stream, instructions, benchmark=benchmark)
 
 
 def _presweep_stream(system: SimulatedSystem, profile: WorkloadProfile) -> None:

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from math import log
 from typing import Iterator, List, Tuple
 
-from ..cpu.isa import Instruction
+from ..cpu.isa import OP_LATENCY, Instruction
 
 BLOCK = 64  # generation granularity: one L2 block
 
@@ -41,6 +41,13 @@ BLOCK = 64  # generation granularity: one L2 block
 #: (Canonical definitions live in :mod:`repro.common.packed`, below both
 #: the producer and the consumer of the format; re-exported here.)
 from ..common.packed import (  # noqa: E402  (re-export)
+    MEAS_ALU,
+    MEAS_BRANCH,
+    MEAS_BRANCH_MISPREDICT,
+    MEAS_FP,
+    MEAS_LOAD,
+    MEAS_STORE,
+    MEAS_STORE_FULL,
     PACKED_CHUNK_INSTRUCTIONS,
     WARM_IFETCH,
     WARM_LOAD,
@@ -326,6 +333,127 @@ class InstructionStream:
         self.loads_emitted = loads_emitted
         self.last_load_index = last_load_index
         return out
+
+    def take_packed(
+        self,
+        count: int,
+        chunk_instructions: int = PACKED_CHUNK_INSTRUCTIONS,
+    ) -> Iterator[Tuple[List[int], List[int], List[int],
+                        List[int], List[int], List[int]]]:
+        """The next ``count`` instructions as packed measured-mode chunks.
+
+        Yields ``(kinds, pcs, addresses, dep1s, dep2s, latencies)`` column
+        tuples — one row per *instruction* (see :mod:`repro.common.packed`
+        for the canonical format) — for :meth:`OutOfOrderCore.run_packed
+        <repro.cpu.ooo.OutOfOrderCore.run_packed>`.  Unlike warm-mode
+        :meth:`packed`, nothing is deduplicated or dropped: the timed
+        schedule consumes every row, including its dependency distances
+        and execution latency, so the columns carry exactly the fields of
+        the :class:`~repro.cpu.isa.Instruction` objects :meth:`take` would
+        build.  The RNG draw order is shared with :meth:`take`, so the
+        stream can switch between packed and object emission at any
+        instruction boundary without diverging.
+        """
+        remaining = count
+        while remaining > 0:
+            n = min(remaining, chunk_instructions)
+            yield self._take_packed_chunk(n)
+            remaining -= n
+
+    def _take_packed_chunk(
+        self, count: int
+    ) -> Tuple[List[int], List[int], List[int],
+               List[int], List[int], List[int]]:
+        """Generate one measured-mode chunk of ``count`` instructions."""
+        profile = self.profile
+        rng_random = self.rng.random
+        addresses = self.addresses
+        load_address = addresses.load_address
+        store_address = addresses.store_address
+        load_fraction = profile.load_fraction
+        store_cut = load_fraction + profile.store_fraction
+        branch_cut = store_cut + profile.branch_fraction
+        fp_fraction = profile.fp_fraction
+        mispredict_rate = profile.mispredict_rate
+        serial_load_chain = profile.serial_load_chain
+        code_bytes = profile.code_bytes
+        lambd = 1.0 / profile.mean_dep_distance
+        log_ = log
+        int_ = int
+        lat_alu, lat_fp = OP_LATENCY["alu"], OP_LATENCY["fp"]
+        lat_load, lat_store = OP_LATENCY["load"], OP_LATENCY["store"]
+        lat_branch = OP_LATENCY["branch"]
+        pc = self.pc
+        loads_emitted = self.loads_emitted
+        last_load_index = self.last_load_index
+        start = self.index
+        # measured chunks are transient (never disk-cached), so plain
+        # lists beat typed arrays: see repro.common.packed
+        kinds: List[int] = []
+        pcs: List[int] = []
+        addrs: List[int] = []
+        dep1s: List[int] = []
+        dep2s: List[int] = []
+        latencies: List[int] = []
+        kind_append = kinds.append
+        pc_append = pcs.append
+        addr_append = addrs.append
+        dep1_append = dep1s.append
+        dep2_append = dep2s.append
+        latency_append = latencies.append
+
+        for index in range(start, start + count):
+            pc = (pc + 4) % code_bytes
+            roll = rng_random()
+            if roll < load_fraction:
+                if (serial_load_chain and loads_emitted
+                        and rng_random() < serial_load_chain):
+                    distance = index - last_load_index
+                    if distance < 1:
+                        distance = 1
+                else:
+                    distance = 1 + int_(-log_(1.0 - rng_random()) / lambd)
+                kind_append(MEAS_LOAD)
+                addr_append(load_address())
+                dep1_append(distance)
+                dep2_append(0)
+                latency_append(lat_load)
+                last_load_index = index
+                loads_emitted += 1
+            elif roll < store_cut:
+                address, full = store_address()
+                kind_append(MEAS_STORE_FULL if full else MEAS_STORE)
+                addr_append(address)
+                dep1_append(1 + int_(-log_(1.0 - rng_random()) / lambd))
+                dep2_append(1 + int_(-log_(1.0 - rng_random()) / lambd))
+                latency_append(lat_store)
+            elif roll < branch_cut:
+                mispredicted = rng_random() < mispredict_rate
+                kind_append(MEAS_BRANCH_MISPREDICT if mispredicted
+                            else MEAS_BRANCH)
+                addr_append(0)
+                dep1_append(1 + int_(-log_(1.0 - rng_random()) / lambd))
+                dep2_append(0)
+                latency_append(lat_branch)
+            elif rng_random() < fp_fraction:
+                kind_append(MEAS_FP)
+                addr_append(0)
+                dep1_append(1 + int_(-log_(1.0 - rng_random()) / lambd))
+                dep2_append(1 + int_(-log_(1.0 - rng_random()) / lambd))
+                latency_append(lat_fp)
+            else:
+                kind_append(MEAS_ALU)
+                addr_append(0)
+                dep1_append(1 + int_(-log_(1.0 - rng_random()) / lambd))
+                dep2_append(1 + int_(-log_(1.0 - rng_random()) / lambd))
+                latency_append(lat_alu)
+            pc_append(pc)
+
+        self.pc = pc
+        self.index = start + count
+        self.loads_emitted = loads_emitted
+        self.last_load_index = last_load_index
+        return kinds, pcs, addrs, dep1s, dep2s, latencies
 
     # -- packed emission ------------------------------------------------------------
 

@@ -167,7 +167,8 @@ class TestHierarchy:
     def test_ifetch_uses_l1i(self):
         h = hierarchy_for(SchemeKind.BASE)
         h.ifetch(0x0, 0)
-        ready, _ = h.ifetch(0x4, 10)
+        ready, _, itlb_cycles = h.ifetch(0x4, 10)
+        assert itlb_cycles == 0  # I-TLB warmed by the first fetch
         assert ready <= 10 + h.config.l1i.latency_cycles
         assert h.l1i.stats["data_hits"] >= 1
 

@@ -58,6 +58,7 @@ class TestNormalization:
         defaults = cell_param_defaults()
         assert defaults["l2_size"] == base.l2.size_bytes
         assert defaults["l2_block"] == base.l2.block_bytes
+        assert defaults["l1i_block"] == base.l1i.block_bytes
         assert defaults["hash_throughput"] == base.hash_engine.throughput_gb_per_s
         assert defaults["buffer_entries"] == base.hash_engine.read_buffer_entries
         assert defaults["blocks_per_chunk"] == base.blocks_per_chunk
@@ -92,6 +93,13 @@ class TestNormalization:
         explicit = tiny(l2_size=cell_param_defaults()["l2_size"])
         assert explicit.build_config() == tiny().build_config()
 
+    def test_l1i_block_reaches_the_built_config(self):
+        config = tiny(l1i_block=64).build_config()
+        assert config.l1i.block_bytes == 64
+        base = tiny().build_config()
+        assert config.l1i.size_bytes == base.l1i.size_bytes
+        assert config.l1i.associativity == base.l1i.associativity
+
     def test_label_is_compact(self):
         spec = tiny(l2_size=256 * KB, l2_block=128)
         assert spec.label() == "gzip/chash/l2=256K/blk=128"
@@ -116,6 +124,7 @@ class TestFingerprint:
         dict(scheme=SchemeKind.BASE),
         dict(l2_size=256 * KB),
         dict(l2_block=128),
+        dict(l1i_block=64),
         dict(hash_throughput=0.8),
         dict(buffer_entries=4),
         dict(blocks_per_chunk=4),
@@ -167,6 +176,7 @@ class TestWarmFingerprint:
         dict(scheme=SchemeKind.BASE),
         dict(l2_size=256 * KB),
         dict(l2_block=128),
+        dict(l1i_block=64),
         dict(write_allocate_valid_bits=False),
         dict(warmup=301),
         dict(seed=1),
