@@ -8,6 +8,10 @@ Commands:
     Run the replay and MAC-forgery scenarios and print their outcomes.
 ``bench BENCHMARK [--scheme S] [--l2-kb N] [--block B] [--instructions N]``
     Run one simulation cell and print its metrics.
+``bench --compare BENCH_measure.json [--tolerance T]``
+    Perf regression gate: re-measure every cell of the committed
+    baseline through the kernels pipeline and exit nonzero when any
+    cell regressed by more than the tolerance (default 20%).
 ``compare BENCHMARK``
     Run all five schemes on one benchmark and print the comparison.
 ``experiments``
@@ -16,7 +20,7 @@ Commands:
     Print the Section 6.1 hash-unit logic-overhead sizing.
 ``trace BENCHMARK PATH [-n N]``
     Save a deterministic instruction trace of a benchmark model.
-``sweep --figure FIG [--jobs N] [--no-cache] [--fresh]``
+``sweep --figure FIG [--jobs N] [--no-cache] [--fresh] [--kernels K]``
     Run a whole figure grid in parallel with the persistent result cache.
 ``check [PATHS ...] [--format text|github] [--selftest] [--list-rules]``
     Static-analysis gate: determinism, snapshot-completeness,
@@ -79,6 +83,20 @@ def _cmd_attacks(_args) -> int:
 
 
 def _one_cell(args) -> int:
+    if args.compare:
+        from .analysis import compare_bench
+        try:
+            lines, ok = compare_bench(args.compare, tolerance=args.tolerance)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"bench --compare: unusable baseline {args.compare}: "
+                  f"{type(error).__name__}: {error}", file=sys.stderr)
+            return 2
+        print("\n".join(lines))
+        return 0 if ok else 1
+    if args.benchmark is None:
+        print("bench: BENCHMARK is required unless --compare is given",
+              file=sys.stderr)
+        return 2
     scheme = SchemeKind(args.scheme)
     config = table1_config(scheme)
     if args.l2_kb or args.block:
@@ -127,6 +145,8 @@ def _cmd_area(_args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    import dataclasses
+
     from .analysis import sweep_ipc_table
     from .sim.sweep import DiskCellCache, figure_cells, run_cells
 
@@ -136,6 +156,9 @@ def _cmd_sweep(args) -> int:
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
+    if args.kernels:
+        cells = [dataclasses.replace(cell, kernels=args.kernels)
+                 for cell in cells]
     cache = None if args.no_cache else DiskCellCache(args.cache_dir)
 
     def progress(outcome) -> None:
@@ -209,12 +232,20 @@ def main(argv=None) -> int:
     sub.add_parser("area")
 
     bench = sub.add_parser("bench")
-    bench.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    bench.add_argument("benchmark", nargs="?", default=None,
+                       choices=BENCHMARK_ORDER)
     bench.add_argument("--scheme", default="chash",
                        choices=[s.value for s in SchemeKind])
     bench.add_argument("--l2-kb", type=int, default=0)
     bench.add_argument("--block", type=int, default=0)
     bench.add_argument("--instructions", type=int, default=12_000)
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="perf regression gate: re-measure every cell "
+                            "of this BENCH_measure.json baseline and exit "
+                            "nonzero on any regression beyond --tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.20,
+                       help="allowed per-cell slowdown for --compare "
+                            "(default: 0.20 = 20%%)")
 
     compare = sub.add_parser("compare")
     compare.add_argument("benchmark", choices=BENCHMARK_ORDER)
@@ -238,6 +269,11 @@ def main(argv=None) -> int:
                             "sharing warm-state snapshots per warm key")
     sweep.add_argument("--cache-dir", default=None,
                        help="cache root (default: .repro_cache)")
+    sweep.add_argument("--kernels", default=None,
+                       choices=["auto", "numpy", "fallback", "packed"],
+                       help="kernel backend for warm-up and measurement "
+                            "(default: $REPRO_KERNELS, then auto); "
+                            "bit-identical either way")
 
     check = sub.add_parser("check")
     check.add_argument("paths", nargs="*", default=[],

@@ -1,6 +1,7 @@
 """Result tables and the experiment registry."""
 
 from .experiments import EXPERIMENTS, Experiment, experiment_index_markdown
+from .perf import compare_bench
 from .tables import (
     format_table,
     ipc_table,
@@ -13,6 +14,7 @@ from .tables import (
 __all__ = [
     "EXPERIMENTS",
     "Experiment",
+    "compare_bench",
     "experiment_index_markdown",
     "format_table",
     "ipc_table",

@@ -1,0 +1,85 @@
+"""Regression gate against the committed perf baselines.
+
+``python -m repro bench --compare BENCH_measure.json`` re-measures the
+kernels pipeline for every cell recorded in the baseline and fails when
+any cell got more than :data:`DEFAULT_TOLERANCE` slower.  The baseline
+is CPU time on the machine that produced it, so an *absolute* gate would
+be meaningless across machines — the gate is meant for A/B runs on one
+machine (the opt-in CI perf job re-records a fresh baseline first and
+compares a candidate tree against it, see ``.github/workflows/ci.yml``).
+
+Comparison is column-matched: a host without numpy compares its
+fallback time against the baseline's ``kernels_fallback_s``, never
+against a numpy number it cannot reproduce.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from typing import List, Tuple
+
+from ..common.config import SchemeKind, table1_config
+from ..kernels import resolve_kernels
+from ..sim.system import prepare_warm_state, run_from_warm_state
+
+#: per-cell slowdown beyond which the gate fails (>20 %).
+DEFAULT_TOLERANCE = 0.20
+
+#: baseline sections holding per-cell records, in report order.
+SECTIONS = ("machinery", "end_to_end")
+
+
+def _measure_cell(key: str, cell: dict, backend: str,
+                  repeats: int) -> float:
+    """Best-of-N CPU seconds of one baseline cell's kernels pipeline."""
+    scheme_name, benchmark = key.split("/", 1)
+    config = table1_config(SchemeKind(scheme_name))
+    state = prepare_warm_state(config, benchmark, warmup=cell["warmup"])
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        start = time.process_time()
+        run_from_warm_state(config, benchmark, state,
+                            instructions=cell["instructions"],
+                            kernels=backend)
+        best = min(best, time.process_time() - start)
+        gc.enable()
+    return best
+
+
+def _baseline_seconds(cell: dict, backend: str) -> float:
+    """The baseline column matching ``backend`` (see module docstring)."""
+    if backend == "numpy" and cell.get("kernels_numpy_s") is not None:
+        return cell["kernels_numpy_s"]
+    return cell["kernels_fallback_s"]
+
+
+def compare_bench(path: str, tolerance: float = DEFAULT_TOLERANCE,
+                  repeats: int = 5) -> Tuple[List[str], bool]:
+    """Re-measure every baseline cell and diff against its recorded time.
+
+    Returns the report lines and whether every cell stayed within
+    ``tolerance`` of its baseline.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    backend = resolve_kernels(None)
+    lines = [f"perf gate: {path} vs current tree "
+             f"({backend} backend, best of {repeats}, "
+             f"tolerance +{tolerance:.0%})"]
+    ok = True
+    for section in SECTIONS:
+        for key, cell in sorted(baseline.get(section, {}).items()):
+            base_s = _baseline_seconds(cell, backend)
+            now_s = _measure_cell(key, cell, backend, repeats)
+            ratio = now_s / base_s
+            regressed = ratio > 1.0 + tolerance
+            ok = ok and not regressed
+            verdict = "REGRESSION" if regressed else "ok"
+            lines.append(f"  {key:12s} baseline {base_s:6.3f}s  "
+                         f"now {now_s:6.3f}s  ({ratio:5.2f}x)  {verdict}")
+    lines.append("perf gate: " + ("PASS" if ok else "FAIL"))
+    return lines, ok

@@ -81,6 +81,12 @@ class CacheSim:
         self._kind_keys[kind] = keys
         return keys
 
+    def kind_keys(self, kind: str) -> tuple:
+        """The precomputed counter-key tuple for ``kind`` —
+        ``(accesses, writes, hits, misses, fills)``.  Public so the
+        kernel prepass can bulk-apply counters outside this module."""
+        return self._kind_keys.get(kind) or self._keys_for(kind)
+
     def divert_counters(self, divert: bool) -> None:
         """Send counter updates to a scratch dict (for warm-up phases whose
         statistics are reset anyway) or back to the real :attr:`stats`."""
@@ -145,6 +151,67 @@ class CacheSim:
             return True
         return False
 
+    def access_batched(self, count: int, promoted, write_count: int,
+                       write_blocks, kind: str = "data") -> None:
+        """Apply an in-order run of ``count`` *guaranteed hits* in one call.
+
+        ``promoted`` is the run's unique block addresses ordered most
+        recently accessed first (``ops.unique_recent``); ``write_blocks``
+        are the unique blocks written by the run's ``write_count`` write
+        accesses.  Callers — the vectorized kernels — guarantee every
+        access would hit, so state and counters evolve exactly as the
+        equivalent sequence of :meth:`access` calls, at a fraction of
+        the dispatch cost.
+        """
+        keys = self._kind_keys.get(kind) or self._keys_for(kind)
+        counters = self._counters
+        get = counters.get
+        counters[keys[0]] = get(keys[0], 0) + count
+        if write_count:
+            counters[keys[1]] = get(keys[1], 0) + write_count
+        counters[keys[2]] = get(keys[2], 0) + count
+        self.warm_access_batched(promoted, write_blocks)
+
+    def warm_access_batched(self, promoted, write_blocks=()) -> None:
+        """Counter-free :meth:`access_batched` for the warm-path kernels.
+
+        A run of sequential hit promotions collapses exactly: the
+        touched blocks end up ordered by last access (most recent
+        first), followed by the untouched ways in their original
+        relative order.  ``promoted`` is that order, already deduped
+        (``ops.unique_recent``).  FIFO/random policies do not promote on
+        hit, so only the dirty bits change there — same as
+        :meth:`warm_access`.
+        """
+        if self._lru and promoted:
+            shift = self._offset_bits
+            n_sets = self._n_sets
+            by_set: dict = {}
+            for block in promoted:  # most-recent access first
+                index = (block >> shift) % n_sets
+                bucket = by_set.get(index)
+                if bucket is None:
+                    by_set[index] = [block]
+                else:
+                    bucket.append(block)
+            sets = self._sets
+            for index, run in by_set.items():
+                ways = sets[index]
+                if len(ways) > len(run):
+                    run_set = set(run)
+                    run.extend(w for w in ways if w not in run_set)
+                ways[:] = run
+        if write_blocks:
+            self._dirty.update(write_blocks)
+
+    def resident_blocks(self) -> set:
+        """Every block address currently resident, as a set (the
+        vectorized kernels classify whole columns against it)."""
+        resident: set = set()
+        for ways in self._sets:
+            resident.update(ways)
+        return resident
+
     def warm_fill(self, address: int, dirty: bool = False) -> FillResult:
         """Counter-free :meth:`fill` for functional warm-up.
 
@@ -181,6 +248,18 @@ class CacheSim:
         """Presence test with no LRU/stat side effects."""
         block = self.block_address(address)
         return block in self._sets[self._set_index(block)]
+
+    def victim_block(self, block: int) -> Optional[int]:
+        """The block a fill of (absent) ``block`` would evict right now.
+
+        Pure peek for the vectorized kernels' poison tracking; exact for
+        the LRU/FIFO tail-eviction policies (the hierarchy never builds
+        ``random`` caches).  ``None`` when no eviction would occur.
+        """
+        ways = self._sets[(block >> self._offset_bits) % self._n_sets]
+        if block not in ways and len(ways) >= self.config.associativity:
+            return ways[-1]
+        return None
 
     def is_dirty(self, address: int) -> bool:
         return self.block_address(address) in self._dirty

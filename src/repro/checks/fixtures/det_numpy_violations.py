@@ -1,0 +1,22 @@
+"""Seeded numpy-determinism violations (parsed only)."""
+
+import numpy as np
+
+
+def jitter(column):
+    noise = np.random.rand(len(column))  # expect: det-numpy-random
+    return column + noise
+
+
+def loose_total(mask):
+    return mask.sum()  # expect: det-numpy-sum
+
+
+def loose_module_total(column):
+    return np.sum(column)  # expect: det-numpy-sum
+
+
+def exact_total(mask, column):
+    # the clean spellings: count_nonzero, or a pinned accumulator dtype
+    return (int(np.count_nonzero(mask))
+            + int(np.sum(column, dtype=np.uint64)))

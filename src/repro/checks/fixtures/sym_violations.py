@@ -51,3 +51,49 @@ class LossyCore:
         for chunk in chunks:
             for instruction in chunk:
                 self._retired.append(instruction)
+
+
+class DriftingCore:
+    """``run_vec`` forgets the fetch-line carry its packed oracle
+    maintains — vectorized chunks would re-fetch the first line (the
+    ``_vec`` suffix rule, pairing against ``run_packed`` first)."""
+
+    def __init__(self):
+        self._retired = []
+        self._fetch_line = -1
+        self.stats = {}
+
+    def run_packed(self, chunks):
+        for chunk in chunks:
+            for instruction in chunk:
+                self._retired.append(instruction)
+                self._fetch_line = instruction
+
+    def run_vec(self, chunks):  # expect: sym-counter-asymmetry
+        for chunk in chunks:
+            for instruction in chunk:
+                self._retired.append(instruction)
+
+
+class SkewedBatchedCache:
+    """``access_batched`` forgets the dirty-bit update its per-row twin
+    performs (the ``_batched`` suffix rule, falling back to ``access``
+    when no ``access_packed`` exists)."""
+
+    def __init__(self):
+        self._ways = []
+        self._dirty = {0}
+        self._counters = {}
+        self.stats = {}
+
+    def access(self, block, write):
+        self._ways.append(block)
+        if write:
+            self._dirty.add(block)
+        self._counters["accesses"] = self._counters.get("accesses", 0) + 1
+
+    def access_batched(self, blocks, writes):  # expect: sym-counter-asymmetry
+        for block in blocks:
+            self._ways.append(block)
+        count = self._counters.get("accesses", 0)
+        self._counters["accesses"] = count + len(blocks)

@@ -15,11 +15,12 @@ anything less and the packed fast path stops being bit-identical to the
 object oracle.
 
 The pass pairs methods by naming convention (``warm_X`` ↔ ``X``,
-``_warm_X`` ↔ ``_X``, and ``X_packed`` ↔ ``X`` — which also pairs the
-``warm_packed`` ↔ ``warm`` orchestrators; a method without a twin is
-skipped), computes each side's mutated-attribute set over its same-class
-call closure, subtracts the declared counter attributes, and flags any
-remaining difference.
+``_warm_X`` ↔ ``_X``, ``X_packed`` ↔ ``X`` — which also pairs the
+``warm_packed`` ↔ ``warm`` orchestrators — and the kernel-backend twins
+``X_vec`` / ``X_batched`` ↔ ``X_packed``, falling back to ``X``; a
+method without a twin is skipped), computes each side's
+mutated-attribute set over its same-class call closure, subtracts the
+declared counter attributes, and flags any remaining difference.
 """
 
 from __future__ import annotations
@@ -41,6 +42,10 @@ def _twin_names(name: str) -> List[str]:
     ``_l1_miss``; ``run_packed``/``take_packed`` with ``run``/``take``.
     ``warm_packed`` yields both ``packed`` (via the prefix rule) and
     ``warm`` (via the suffix rule) — whichever exists on the class wins.
+    The vectorized kernel twins ``run_vec``/``access_batched`` pair with
+    their packed oracle first (``run_packed``/``access_packed``), then
+    with the plain counted method (``run``/``access``): the whole
+    backend chain must drive the same functional state.
     """
     candidates: List[str] = []
     if name.startswith("warm_"):
@@ -49,6 +54,10 @@ def _twin_names(name: str) -> List[str]:
         candidates.append("_" + name[len("_warm_"):])
     if name.endswith("_packed") and len(name) > len("_packed"):
         candidates.append(name[:-len("_packed")])
+    for suffix in ("_vec", "_batched"):
+        if name.endswith(suffix) and len(name) > len(suffix):
+            base = name[:-len(suffix)]
+            candidates.extend((base + "_packed", base))
     return [c for c in candidates if c and c != name]
 
 

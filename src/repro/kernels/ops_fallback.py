@@ -1,0 +1,125 @@
+"""Pure-Python column primitives for the vectorized kernels.
+
+The batched fallback when numpy is absent: columns are plain lists,
+masks are lists of bools, and each primitive is one comprehension over
+the column — C-speed iteration without per-row simulator dispatch.  The
+kernel algorithms in :mod:`repro.kernels.warm` and
+:mod:`repro.kernels.measure` are shared verbatim with the numpy backend,
+so the two are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+NAME = "fallback"
+
+
+def col_u8(seq):
+    return list(seq)
+
+
+def col_u64(seq):
+    return list(seq)
+
+
+def tolist(col):
+    return col if type(col) is list else list(col)
+
+
+def add(col, k):
+    if not k:
+        return col
+    return [x + k for x in col]
+
+
+def rshift(col, bits):
+    return [x >> bits for x in col]
+
+
+def block(col, offset_bits):
+    mask = ~((1 << offset_bits) - 1)
+    return [x & mask for x in col]
+
+
+def eq(col, k):
+    return [x == k for x in col]
+
+
+def ge(col, k):
+    return [x >= k for x in col]
+
+
+def between(col, lo, hi):
+    return [lo <= x <= hi for x in col]
+
+
+def invert(mask):
+    return [not m for m in mask]
+
+
+def and_(a, b):
+    return [x and y for x, y in zip(a, b)]
+
+
+def or_(a, b):
+    return [x or y for x, y in zip(a, b)]
+
+
+def where(cond, a, b):
+    return [x if c else y for c, x, y in zip(cond, a, b)]
+
+
+def ne_prev(col, carry):
+    """``out[i] = col[i] != col[i-1]``, with ``col[-1]`` taken as ``carry``."""
+    out = [carry != col[0]] if col else []
+    out.extend(x != y for x, y in zip(col[1:], col))
+    return out
+
+
+def last(col):
+    return col[-1]
+
+
+def isin(col, values):
+    """Membership mask of ``col`` against a Python set of ints."""
+    if not values:
+        return [False] * len(col)
+    return [x in values for x in col]
+
+
+def count_true(mask, start=0, end=None):
+    """Number of True rows in ``mask[start:end]``."""
+    if start or end is not None:
+        return sum(mask[start:end])
+    return sum(mask)
+
+
+def false_indices(mask):
+    """Ascending indices where ``mask`` is False."""
+    return [i for i, m in enumerate(mask) if not m]
+
+
+def true_indices(mask):
+    """Ascending indices where ``mask`` is True."""
+    return [i for i, m in enumerate(mask) if m]
+
+
+def take_where(col, mask, i, j):
+    """``col[i:j]`` rows where ``mask`` holds, in order, as a Python list."""
+    return [x for x, m in zip(col[i:j], mask[i:j]) if m]
+
+
+def unique_recent(col, mask, i, j):
+    """Unique ``col[i:j]`` values where ``mask`` holds, most recently
+    seen first — the promotion order batched LRU application needs."""
+    order: dict = {}
+    pop = order.pop
+    for x, m in zip(col[i:j], mask[i:j]):
+        if m:
+            pop(x, None)
+            order[x] = None
+    return list(reversed(order))
+
+
+def unique_vals(col, mask, i, j):
+    """Unique ``col[i:j]`` values where ``mask`` holds (order-free)."""
+    return {x for x, m in zip(col[i:j], mask[i:j]) if m}

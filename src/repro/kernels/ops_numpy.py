@@ -1,0 +1,126 @@
+"""numpy column primitives for the vectorized kernels.
+
+Every primitive is exact unsigned-integer or boolean arithmetic on
+``uint64``/``bool_`` arrays — no floating point anywhere — so results
+are bit-identical to :mod:`repro.kernels.ops_fallback` on any platform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NAME = "numpy"
+
+_U64 = np.uint64
+_EMPTY_U64 = np.empty(0, dtype=_U64)
+
+
+def col_u8(seq):
+    return np.asarray(seq, dtype=np.uint8)
+
+
+def col_u64(seq):
+    return np.asarray(seq, dtype=_U64)
+
+
+def tolist(col):
+    return col.tolist()
+
+
+def add(col, k):
+    if not k:
+        return col
+    return col + _U64(k)
+
+
+def rshift(col, bits):
+    return col >> _U64(bits)
+
+
+def block(col, offset_bits):
+    shift = _U64(offset_bits)
+    return (col >> shift) << shift
+
+
+def eq(col, k):
+    return col == _U64(k)
+
+
+def ge(col, k):
+    return col >= _U64(k)
+
+
+def between(col, lo, hi):
+    return (col >= _U64(lo)) & (col <= _U64(hi))
+
+
+def invert(mask):
+    return ~mask
+
+
+def and_(a, b):
+    return a & b
+
+
+def or_(a, b):
+    return a | b
+
+
+def where(cond, a, b):
+    return np.where(cond, a, b)
+
+
+def ne_prev(col, carry):
+    """``out[i] = col[i] != col[i-1]``, with ``col[-1]`` taken as ``carry``."""
+    out = np.empty(len(col), dtype=bool)
+    out[0] = int(col[0]) != carry
+    np.not_equal(col[1:], col[:-1], out=out[1:])
+    return out
+
+
+def last(col):
+    return int(col[-1])
+
+
+def isin(col, values):
+    """Membership mask of ``col`` against a Python set/iterable of ints."""
+    if not values:
+        return np.zeros(len(col), dtype=bool)
+    table = np.fromiter(values, dtype=_U64, count=len(values))
+    return np.isin(col, table)
+
+
+def count_true(mask, start=0, end=None):
+    """Number of True rows in ``mask[start:end]``."""
+    return int(np.count_nonzero(mask[start:end]))
+
+
+def false_indices(mask):
+    """Ascending indices where ``mask`` is False."""
+    return np.flatnonzero(~mask).tolist()
+
+
+def true_indices(mask):
+    """Ascending indices where ``mask`` is True."""
+    return np.flatnonzero(mask).tolist()
+
+
+def take_where(col, mask, i, j):
+    """``col[i:j]`` rows where ``mask`` holds, in order, as a Python list."""
+    return col[i:j][mask[i:j]].tolist()
+
+
+def unique_recent(col, mask, i, j):
+    """Unique ``col[i:j]`` values where ``mask`` holds, most recently
+    seen first — the promotion order batched LRU application needs."""
+    vals = col[i:j][mask[i:j]]
+    if not len(vals):
+        return []
+    uniq, index = np.unique(vals[::-1], return_index=True)
+    return uniq[np.argsort(index)].tolist()
+
+
+def unique_vals(col, mask, i, j):
+    """Unique ``col[i:j]`` values where ``mask`` holds (order-free)."""
+    vals = col[i:j][mask[i:j]]
+    return np.unique(vals).tolist() if len(vals) else []

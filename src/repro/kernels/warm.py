@@ -1,0 +1,109 @@
+"""Column planning for the vectorized warm-path kernel.
+
+Everything here is *pure column math* over one packed warm chunk —
+classification of rows into per-cache block/page columns and
+hit-candidate masks.  The state-mutating half of the kernel (batched LRU
+application, the slow-row interpreter) lives on
+:meth:`repro.cache.hierarchy.MemoryHierarchy.warm_vec`, where the
+twin-symmetry checker can pair its mutations against ``warm_packed``.
+
+Correctness model (the sequential-dependence boundary):
+
+* A row whose block and page are resident *at mask-build time* is a
+  guaranteed hit as long as nothing was evicted since — hits only
+  promote LRU entries, never change membership, so a run of
+  mask-``True`` rows can be applied as one batch.
+* Misses (mask ``False``) are interpreted row by row through the exact
+  ``warm_packed`` code paths; each may fill (stale-``False`` rows are
+  re-checked by the interpreter, so conservatism is safe) and may
+  *evict*.  Evicted blocks/pages are the only stale-``True`` hazard;
+  they go into a :class:`Poison` set consulted before batching, and the
+  masks are rebuilt outright once enough slow rows accumulate.
+"""
+
+from __future__ import annotations
+
+from ..common.packed import WARM_IFETCH, WARM_STORE
+
+#: below this hit-candidate fraction a chunk is interpreted row by row —
+#: the packed row body is only ~3 bound-method calls, so the batching
+#: machinery pays for itself only when long hit runs dominate outright.
+MIN_FAST_FRACTION = 0.995
+#: hit runs shorter than this are applied row by row; per-span batching
+#: overhead only amortizes over longer runs.
+MIN_BATCH_ROWS = 32
+
+
+class WarmPlan:
+    """Per-chunk columns shared by mask builds and batch application."""
+
+    __slots__ = ("n", "data_offset", "blk", "page", "is_if", "not_if",
+                 "is_wr", "blk_l", "page_l", "is_if_l",
+                 "codes_l", "values_l")
+
+
+def build_plan(ops, codes, values, data_offset, page_bits,
+               i_offset_bits, d_offset_bits) -> WarmPlan:
+    """Classify one ``(codes, values)`` chunk into per-cache columns."""
+    plan = WarmPlan()
+    code_col = ops.col_u8(codes)
+    value_col = ops.col_u64(values)
+    phys = ops.add(value_col, data_offset)
+    is_if = ops.eq(code_col, WARM_IFETCH)
+    plan.is_if = is_if
+    plan.not_if = ops.invert(is_if)
+    plan.is_wr = ops.ge(code_col, WARM_STORE)
+    if i_offset_bits == d_offset_bits:
+        plan.blk = ops.block(phys, d_offset_bits)
+    else:
+        plan.blk = ops.where(is_if, ops.block(phys, i_offset_bits),
+                             ops.block(phys, d_offset_bits))
+    plan.page = ops.rshift(value_col, page_bits)
+    plan.blk_l = ops.tolist(plan.blk)
+    plan.page_l = ops.tolist(plan.page)
+    plan.is_if_l = ops.tolist(is_if)
+    plan.codes_l = list(codes)
+    plan.values_l = list(values)
+    plan.n = len(plan.codes_l)
+    plan.data_offset = data_offset
+    return plan
+
+
+def fast_mask(ops, plan, live):
+    """Hit-candidate mask: row block *and* page resident right now."""
+    hit_i = ops.and_(ops.isin(plan.blk, live.l1i),
+                     ops.isin(plan.page, live.itlb))
+    hit_d = ops.and_(ops.isin(plan.blk, live.l1d),
+                     ops.isin(plan.page, live.dtlb))
+    return ops.where(plan.is_if, hit_i, hit_d)
+
+
+class Residency:
+    """Exact current L1/TLB membership, maintained incrementally by the
+    row interpreter (fills add, evictions discard) so rows filled *after*
+    the chunk's mask was built stop fragmenting the batch spans."""
+
+    __slots__ = ("l1i", "l1d", "itlb", "dtlb")
+
+    def __init__(self, l1i, l1d, itlb, dtlb):
+        self.l1i = l1i
+        self.l1d = l1d
+        self.itlb = itlb
+        self.dtlb = dtlb
+
+
+class Poison:
+    """Blocks/pages evicted since the chunk's mask was built and not
+    since refilled — the only stale-``True`` hazard a batched span must
+    screen against."""
+
+    __slots__ = ("l1i", "l1d", "itlb", "dtlb")
+
+    def __init__(self):
+        self.l1i: set = set()
+        self.l1d: set = set()
+        self.itlb: set = set()
+        self.dtlb: set = set()
+
+    def empty(self) -> bool:
+        return not (self.l1i or self.l1d or self.itlb or self.dtlb)

@@ -91,14 +91,20 @@ class DiskCellCache:
         return result
 
     def put(self, fingerprint: str, spec: CellSpec, result: SimResult,
-            elapsed_s: float) -> None:
-        """Store ``result`` atomically; failures are logged, not raised."""
+            elapsed_s: float, backend: Optional[str] = None) -> None:
+        """Store ``result`` atomically; failures are logged, not raised.
+
+        ``backend`` records which kernel backend produced the entry —
+        pure provenance metadata: it never enters the fingerprint, and
+        :meth:`get` ignores it, because backends are bit-identical.
+        """
         path = self.path_for(fingerprint)
         entry = {
             "schema": CACHE_SCHEMA_VERSION,
             "fingerprint": fingerprint,
             "cell": spec.label(),
             "elapsed_s": round(elapsed_s, 4),
+            "backend": backend,
             "result": result_to_dict(result),
         }
         try:

@@ -22,11 +22,29 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ...kernels import resolve_kernels
 from ..results import SimResult
-from ..system import prepare_warm_state, run_benchmark, run_from_warm_state
+from ..system import (
+    packed_measure_default,
+    prepare_warm_state,
+    run_benchmark,
+    run_from_warm_state,
+)
 from .diskcache import DiskCellCache
 from .fingerprint import cell_fingerprint, warm_fingerprint
 from .spec import CellSpec
+
+
+def resolved_backend(spec: CellSpec) -> str:
+    """The concrete backend label ``spec``'s measured suffix runs on.
+
+    Execution metadata only (recorded on :class:`CellOutcome` and in
+    disk-cache entries) — never part of cell identity, because every
+    backend is bit-identical.
+    """
+    if not packed_measure_default():
+        return "object"
+    return resolve_kernels(spec.kernels)
 
 
 def execute_cell(spec: CellSpec) -> SimResult:
@@ -37,18 +55,21 @@ def execute_cell(spec: CellSpec) -> SimResult:
         instructions=spec.instructions,
         warmup=spec.warmup,
         seed=spec.seed,
+        kernels=spec.kernels,
     )
 
 
-def _timed_execute(spec: CellSpec) -> Tuple[SimResult, float]:
+def _timed_execute(spec: CellSpec) -> Tuple[SimResult, float, str]:
+    backend = resolved_backend(spec)
     start = time.perf_counter()
     result = execute_cell(spec)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, backend
 
 
-#: One cell's result inside a group: (spec, result, elapsed, warm, measure, error).
+#: One cell's result inside a group:
+#: (spec, result, elapsed, warm, measure, backend, error).
 _GroupRow = Tuple[CellSpec, Optional[SimResult], float, float, float,
-                  Optional[str]]
+                  Optional[str], Optional[str]]
 
 
 def execute_group(specs: Sequence[CellSpec]) -> List[_GroupRow]:
@@ -68,29 +89,32 @@ def execute_group(specs: Sequence[CellSpec]) -> List[_GroupRow]:
             first.benchmark,
             warmup=first.warmup,
             seed=first.seed,
+            kernels=first.kernels,
         )
         warm_s = time.perf_counter() - start
     except Exception as error:  # noqa: BLE001 - group isolation
         message = f"{type(error).__name__}: {error}"
-        return [(spec, None, 0.0, 0.0, 0.0, message) for spec in specs]
+        return [(spec, None, 0.0, 0.0, 0.0, None, message) for spec in specs]
     rows: List[_GroupRow] = []
     for index, spec in enumerate(specs):
         cell_warm = warm_s if index == 0 else 0.0
         try:
+            backend = resolved_backend(spec)
             start = time.perf_counter()
             result = run_from_warm_state(
                 spec.build_config(),
                 spec.benchmark,
                 warm_state,
                 instructions=spec.instructions,
+                kernels=spec.kernels,
             )
             measure_s = time.perf_counter() - start
         except Exception as error:  # noqa: BLE001 - cell isolation
-            rows.append((spec, None, 0.0, 0.0, 0.0,
+            rows.append((spec, None, 0.0, 0.0, 0.0, None,
                          f"{type(error).__name__}: {error}"))
         else:
             rows.append((spec, result, cell_warm + measure_s, cell_warm,
-                         measure_s, None))
+                         measure_s, backend, None))
     return rows
 
 
@@ -109,6 +133,10 @@ class CellOutcome:
     warm_s: float = 0.0
     #: Seconds spent simulating the measured suffix.
     measure_s: float = 0.0
+    #: Concrete kernel backend the measured suffix ran on (``numpy``/
+    #: ``fallback``/``packed``/``object``; ``None`` for cached or failed
+    #: cells).  Metadata only — backends are bit-identical.
+    backend: Optional[str] = None
 
 
 @dataclass
@@ -161,6 +189,9 @@ class SweepReport:
                 f"({cell_time / len(ran):.2f}s/cell avg, "
                 f"{max(o.elapsed_s for o in ran):.2f}s max)"
             )
+            backends = sorted({o.backend for o in ran if o.backend})
+            if backends:
+                lines.append(f"  kernels backend: {', '.join(backends)}")
             warm_time = sum(o.warm_s for o in ran)
             measure_time = sum(o.measure_s for o in ran)
             if warm_time or measure_time:
@@ -254,31 +285,34 @@ def run_cells(
 
     def record(spec: CellSpec, result: Optional[SimResult], elapsed: float,
                error: Optional[str] = None, warm_s: float = 0.0,
-               measure_s: float = 0.0) -> None:
+               measure_s: float = 0.0,
+               backend: Optional[str] = None) -> None:
         source = "failed" if result is None else "run"
         outcome = CellOutcome(spec, result, elapsed, source, error,
-                              warm_s=warm_s, measure_s=measure_s)
+                              warm_s=warm_s, measure_s=measure_s,
+                              backend=backend)
         outcomes[spec] = outcome
         if result is not None and cache is not None:
-            cache.put(fingerprints[spec], spec, result, elapsed)
+            cache.put(fingerprints[spec], spec, result, elapsed,
+                      backend=backend)
         if progress is not None:
             progress(outcome)
 
     def record_rows(rows: Sequence[_GroupRow]) -> None:
-        for spec, result, elapsed, warm_s, measure_s, error in rows:
+        for spec, result, elapsed, warm_s, measure_s, backend, error in rows:
             record(spec, result, elapsed, error,
-                   warm_s=warm_s, measure_s=measure_s)
+                   warm_s=warm_s, measure_s=measure_s, backend=backend)
 
     warm_groups = 0
     if not share_warm:
         if jobs <= 1 or len(pending) <= 1:
             for spec in pending:
                 try:
-                    result, elapsed = _timed_execute(spec)
+                    result, elapsed, backend = _timed_execute(spec)
                 except Exception as error:  # noqa: BLE001 - cell isolation
                     record(spec, None, 0.0, f"{type(error).__name__}: {error}")
                 else:
-                    record(spec, result, elapsed)
+                    record(spec, result, elapsed, backend=backend)
         else:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = {pool.submit(_timed_execute, spec): spec
@@ -290,12 +324,12 @@ def run_cells(
                     for future in done:
                         spec = futures[future]
                         try:
-                            result, elapsed = future.result()
+                            result, elapsed, backend = future.result()
                         except Exception as error:  # noqa: BLE001
                             record(spec, None, 0.0,
                                    f"{type(error).__name__}: {error}")
                         else:
-                            record(spec, result, elapsed)
+                            record(spec, result, elapsed, backend=backend)
     elif pending:
         grouped: Dict[str, List[CellSpec]] = {}
         for spec in pending:

@@ -70,6 +70,12 @@ class CellSpec:
     instructions: int = 12_000
     warmup: Optional[int] = None
     seed: int = 0
+    #: Kernel backend request (``auto``/``numpy``/``fallback``/``packed``;
+    #: ``None`` defers to ``REPRO_KERNELS``).  Excluded from equality,
+    #: hashing, :meth:`key` and both fingerprints: backends are
+    #: bit-identical, so the backend is execution metadata, never cell
+    #: identity.
+    kernels: Optional[str] = dataclasses.field(default=None, compare=False)
 
     def normalized(self) -> "CellSpec":
         """Collapse explicit default values to ``None`` (one identity per

@@ -9,13 +9,14 @@ instruction stream before measuring).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from ..cache.hierarchy import DEFAULT_PROTECTED_BYTES, MemoryHierarchy
 from ..common.config import SystemConfig
 from ..cpu.isa import Instruction
 from ..cpu.ooo import CoreResult, OutOfOrderCore
+from ..kernels import load_ops, resolve_kernels
 from ..workloads.generators import InstructionStream, WorkloadProfile
 from ..workloads.spec import SPEC_PROFILES
 from .results import SimResult
@@ -31,8 +32,19 @@ MEASURE_PATH_ENV = "REPRO_MEASURE"
 
 
 def packed_measure_default() -> bool:
-    """Whether measured runs use the packed fast path by default."""
-    return os.environ.get(MEASURE_PATH_ENV, "packed") != "object"
+    """Whether measured runs use the packed fast path by default.
+
+    Unknown values raise rather than silently selecting a path — a typo
+    like ``REPRO_MEASURE=obj`` must not send a whole sweep down the fast
+    path while the operator believes the oracle is running.
+    """
+    value = os.environ.get(MEASURE_PATH_ENV, "packed")
+    if value not in ("packed", "object"):
+        raise ValueError(
+            f"unknown measured path {value!r} (from ${MEASURE_PATH_ENV}); "
+            f"valid values: packed, object"
+        )
+    return value != "object"
 
 
 class SimulatedSystem:
@@ -52,26 +64,50 @@ class SimulatedSystem:
 
     def run_stream(self, stream: InstructionStream, count: int,
                    benchmark: str = "custom", start_cycle: int = 0,
-                   packed: Optional[bool] = None) -> SimResult:
+                   packed: Optional[bool] = None,
+                   kernels: Optional[str] = None) -> SimResult:
         """Measure the next ``count`` instructions of ``stream``.
 
         The default routes through the packed measured path
-        (:meth:`InstructionStream.take_packed` columns scheduled by
-        :meth:`OutOfOrderCore.run_packed
-        <repro.cpu.ooo.OutOfOrderCore.run_packed>`) — no
+        (:meth:`InstructionStream.take_packed` columns scheduled by a
+        kernel backend — see :meth:`run_chunks`) — no
         :class:`Instruction` object is ever allocated, and the
         :class:`SimResult` is bit-identical to the object path.
         ``packed=False`` (or ``REPRO_MEASURE=object`` in the environment)
-        selects the historical object path as an oracle.
+        selects the historical object path as an oracle; ``kernels``
+        picks the column backend for the packed route (see
+        :func:`repro.kernels.resolve_kernels`).
         """
         if packed is None:
             packed = packed_measure_default()
         if packed:
-            result = self.core.run_packed(stream.take_packed(count),
-                                          start_cycle=start_cycle)
+            return self.run_chunks(stream.take_packed(count),
+                                   benchmark=benchmark,
+                                   start_cycle=start_cycle, kernels=kernels)
+        result = self.core.run(stream.take(count), start_cycle=start_cycle)
+        return self._result(benchmark, result)
+
+    def run_chunks(self, chunks, benchmark: str = "custom",
+                   start_cycle: int = 0,
+                   kernels: Optional[str] = None) -> SimResult:
+        """Measure pre-packed column ``chunks`` through a kernel backend.
+
+        ``chunks`` is an iterable (or cached list — see
+        :meth:`WarmState.measured_chunks`) of column tuples from
+        :meth:`InstructionStream.take_packed`.  ``kernels`` resolves via
+        :func:`repro.kernels.resolve_kernels`: ``packed`` replays the
+        interpreted packed oracle (:meth:`OutOfOrderCore.run_packed
+        <repro.cpu.ooo.OutOfOrderCore.run_packed>`); ``numpy`` and
+        ``fallback`` schedule through the vectorized twin
+        (:meth:`OutOfOrderCore.run_vec <repro.cpu.ooo.OutOfOrderCore.run_vec>`).
+        All backends are bit-identical.
+        """
+        backend = resolve_kernels(kernels)
+        if backend == "packed":
+            result = self.core.run_packed(chunks, start_cycle=start_cycle)
         else:
-            result = self.core.run(stream.take(count),
-                                   start_cycle=start_cycle)
+            result = self.core.run_vec(chunks, start_cycle=start_cycle,
+                                       ops=load_ops(backend))
         return self._result(benchmark, result)
 
     def _result(self, benchmark: str, result: CoreResult) -> SimResult:
@@ -102,6 +138,7 @@ def run_benchmark(
     seed: int = 0,
     profile: Optional[WorkloadProfile] = None,
     protected_bytes: int = DEFAULT_PROTECTED_BYTES,
+    kernels: Optional[str] = None,
 ) -> SimResult:
     """Run one (config, benchmark) pair with cache warm-up.
 
@@ -122,8 +159,9 @@ def run_benchmark(
     ``warmup`` defaults to :func:`default_warmup`.
     """
     system, stream = _warmed_system(config, benchmark, warmup, seed, profile,
-                                    protected_bytes)
-    return system.run_stream(stream, instructions, benchmark=benchmark)
+                                    protected_bytes, kernels=kernels)
+    return system.run_stream(stream, instructions, benchmark=benchmark,
+                             kernels=kernels)
 
 
 def _warmed_system(
@@ -133,6 +171,7 @@ def _warmed_system(
     seed: int,
     profile: Optional[WorkloadProfile],
     protected_bytes: int,
+    kernels: Optional[str] = None,
 ) -> Tuple[SimulatedSystem, InstructionStream]:
     """Build a system, pre-sweep + warm it, and park the instruction stream
     at the measurement boundary."""
@@ -145,8 +184,12 @@ def _warmed_system(
         _presweep_stream(system, profile)
     stream = InstructionStream(profile, seed)
     if warmup:
-        system.hierarchy.warm_packed(
-            stream.packed(warmup, line_bytes=config.l1i.block_bytes))
+        backend = resolve_kernels(kernels)
+        chunks = stream.packed(warmup, line_bytes=config.l1i.block_bytes)
+        if backend == "packed":
+            system.hierarchy.warm_packed(chunks)
+        else:
+            system.hierarchy.warm_vec(chunks, load_ops(backend))
         _reset_counters(system)
     return system, stream
 
@@ -172,6 +215,28 @@ class WarmState:
     snapshot: dict
     #: :meth:`InstructionStream.state` at the same boundary.
     stream_state: tuple
+    #: Packed measured-suffix traces keyed by instruction count — a pure
+    #: cache (the stream is deterministic from :attr:`stream_state`), so
+    #: cells and repeats sharing this state replay one generation pass.
+    _traces: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def measured_chunks(self, instructions: int) -> list:
+        """The packed measured suffix of length ``instructions``.
+
+        Generated once per distinct count via
+        :meth:`InstructionStream.take_packed` from the parked
+        :attr:`stream_state`, then reused by every cell and repeat that
+        measures the same suffix — trace generation is roughly half the
+        per-cell cost of an L2-resident measured run, and it is identical
+        across all timing-only cell parameters.
+        """
+        chunks = self._traces.get(instructions)
+        if chunks is None:
+            stream = InstructionStream.from_state(self.profile,
+                                                  self.stream_state)
+            chunks = list(stream.take_packed(instructions))
+            self._traces[instructions] = chunks
+        return chunks
 
 
 def prepare_warm_state(
@@ -181,6 +246,7 @@ def prepare_warm_state(
     seed: int = 0,
     profile: Optional[WorkloadProfile] = None,
     protected_bytes: int = DEFAULT_PROTECTED_BYTES,
+    kernels: Optional[str] = None,
 ) -> WarmState:
     """Run the warm-up once and capture a reusable :class:`WarmState`."""
     if profile is None:
@@ -188,7 +254,7 @@ def prepare_warm_state(
     if warmup is None:
         warmup = default_warmup(config)
     system, stream = _warmed_system(config, benchmark, warmup, seed, profile,
-                                    protected_bytes)
+                                    protected_bytes, kernels=kernels)
     return WarmState(
         profile=profile,
         warmup=warmup,
@@ -204,6 +270,7 @@ def run_from_warm_state(
     benchmark: str,
     warm_state: WarmState,
     instructions: int = 20_000,
+    kernels: Optional[str] = None,
 ) -> SimResult:
     """Measure one cell from a shared :class:`WarmState`.
 
@@ -212,12 +279,25 @@ def run_from_warm_state(
     hierarchy state, resumes the instruction stream at the measurement
     boundary and runs the measured suffix — bit-identical to
     :func:`run_benchmark` warming this cell from scratch.
+
+    Vectorized kernel backends (``numpy``/``fallback``, the default)
+    replay the suffix from :meth:`WarmState.measured_chunks`, so trace
+    generation is shared across every cell and repeat on this state.  The
+    ``packed`` oracle backend — and ``REPRO_MEASURE=object`` — regenerate
+    the stream each run, preserving the pre-kernel reference pipeline.
     """
     system = SimulatedSystem(config, warm_state.protected_bytes)
     system.hierarchy.restore(warm_state.snapshot)
+    if packed_measure_default():
+        backend = resolve_kernels(kernels)
+        if backend != "packed":
+            return system.run_chunks(
+                warm_state.measured_chunks(instructions),
+                benchmark=benchmark, kernels=backend)
     stream = InstructionStream.from_state(warm_state.profile,
                                           warm_state.stream_state)
-    return system.run_stream(stream, instructions, benchmark=benchmark)
+    return system.run_stream(stream, instructions, benchmark=benchmark,
+                             kernels=kernels)
 
 
 def _presweep_stream(system: SimulatedSystem, profile: WorkloadProfile) -> None:

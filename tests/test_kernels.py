@@ -1,0 +1,428 @@
+"""Bit-identity and plumbing of the ``repro.kernels`` backends.
+
+The vectorized kernel backends (``numpy`` and the pure-Python
+``fallback``) are only allowed to change *wall-clock*, never results:
+for every scheme, access pattern and L1-I geometry each backend must
+produce the same cycle count, instruction count, full statistics dict
+and hierarchy end state as the interpreted packed oracle
+(``REPRO_KERNELS=packed``), which is itself bit-identical to the
+per-``Instruction`` object oracle (``tests/test_measured_packed.py``).
+Alongside the equivalence grid live the edge cases the prepass must not
+mishandle (same-set dependent runs, chunk-boundary straddles, eviction
+storms, wide L1-I lines), the strict environment parsing for
+``REPRO_KERNELS``/``REPRO_MEASURE``, the warm-state trace cache, and
+the rule that backend choice is execution metadata — never cell
+identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+import repro.kernels as kernels_pkg
+from repro.common.config import SchemeKind, SystemConfig, table1_config
+from repro.common.packed import (
+    MEAS_ALU,
+    MEAS_BRANCH,
+    MEAS_BRANCH_MISPREDICT,
+    MEAS_FP,
+    MEAS_LOAD,
+    MEAS_STORE,
+    MEAS_STORE_FULL,
+)
+from repro.kernels import (
+    KERNEL_BACKENDS,
+    KERNELS_ENV,
+    load_ops,
+    numpy_available,
+    resolve_kernels,
+)
+from repro.sim.system import (
+    MEASURE_PATH_ENV,
+    SimulatedSystem,
+    packed_measure_default,
+    prepare_warm_state,
+    run_from_warm_state,
+)
+from repro.sim.sweep.fingerprint import cell_fingerprint, warm_fingerprint
+from repro.sim.sweep.runner import resolved_backend
+from repro.sim.sweep.spec import CellSpec
+from repro.workloads.generators import InstructionStream
+from repro.workloads.spec import SPEC_PROFILES
+
+ALL_SCHEMES = (SchemeKind.BASE, SchemeKind.NAIVE, SchemeKind.CHASH,
+               SchemeKind.MHASH, SchemeKind.IHASH)
+
+#: one profile per access pattern (wset, random, stream)
+IDENTITY_BENCHMARKS = ("gcc", "mcf", "swim")
+
+#: the vectorized backends available in this environment; ``fallback``
+#: is always importable, ``numpy`` only with the ``[perf]`` extra.
+VEC_BACKENDS = (("numpy", "fallback") if numpy_available()
+                else ("fallback",))
+
+needs_numpy = pytest.mark.skipif(not numpy_available(),
+                                 reason="numpy not installed")
+
+
+def with_l1i_block(config: SystemConfig, block_bytes: int) -> SystemConfig:
+    """``config`` with its L1 I-cache rebuilt on ``block_bytes`` lines."""
+    return dataclasses.replace(
+        config,
+        l1i=dataclasses.replace(config.l1i, block_bytes=block_bytes),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    """Ambient overrides must not leak into the equivalence grid."""
+    monkeypatch.delenv(KERNELS_ENV, raising=False)
+    monkeypatch.delenv(MEASURE_PATH_ENV, raising=False)
+
+
+# ---------------------------------------------------------------------------
+# backend selection + strict environment parsing
+# ---------------------------------------------------------------------------
+
+
+class TestBackendResolution:
+    """``resolve_kernels`` picks the best backend and rejects typos."""
+
+    def test_registry_spellings(self):
+        assert KERNEL_BACKENDS == ("auto", "numpy", "fallback", "packed")
+
+    @needs_numpy
+    def test_auto_prefers_numpy(self):
+        assert resolve_kernels() == "numpy"
+        assert resolve_kernels("auto") == "numpy"
+
+    def test_auto_falls_back_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(kernels_pkg, "numpy_available", lambda: False)
+        assert resolve_kernels() == "fallback"
+        assert resolve_kernels("auto") == "fallback"
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "fallback")
+        assert resolve_kernels() == "fallback"
+        # an explicit request wins over the environment
+        assert resolve_kernels("packed") == "packed"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown kernels backend"):
+            resolve_kernels("vectorised")
+        monkeypatch.setenv(KERNELS_ENV, "npy")
+        with pytest.raises(ValueError, match="npy"):
+            resolve_kernels()
+
+    def test_load_ops_names(self):
+        assert load_ops("fallback").NAME == "fallback"
+        if numpy_available():
+            assert load_ops("numpy").NAME == "numpy"
+
+    def test_load_ops_rejects_non_backends(self):
+        with pytest.raises(ValueError):
+            load_ops("auto")
+        with pytest.raises(ValueError):
+            load_ops("packed")
+
+
+class TestStrictMeasureEnv:
+    """``REPRO_MEASURE`` accepts exactly ``packed`` and ``object``."""
+
+    def test_valid_values(self, monkeypatch):
+        assert packed_measure_default()  # unset -> packed
+        monkeypatch.setenv(MEASURE_PATH_ENV, "packed")
+        assert packed_measure_default()
+        monkeypatch.setenv(MEASURE_PATH_ENV, "object")
+        assert not packed_measure_default()
+
+    def test_unknown_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(MEASURE_PATH_ENV, "obj")
+        with pytest.raises(ValueError, match="unknown measured path"):
+            packed_measure_default()
+
+
+# ---------------------------------------------------------------------------
+# property-based equivalence: object -> packed -> vectorized
+# ---------------------------------------------------------------------------
+
+
+def kernel_results(config, bench, instructions=2_000, warmup=6_000):
+    """The packed oracle plus every vectorized backend, from one shared
+    warm state (exactly how the sweep runner consumes the backends)."""
+    state = prepare_warm_state(config, bench, warmup=warmup)
+    oracle = run_from_warm_state(config, bench, state,
+                                 instructions=instructions,
+                                 kernels="packed")
+    results = {
+        backend: run_from_warm_state(config, bench, state,
+                                     instructions=instructions,
+                                     kernels=backend)
+        for backend in VEC_BACKENDS
+    }
+    return oracle, results
+
+
+class TestBitIdentity:
+    """Each vectorized backend equals the packed oracle: cycles,
+    instruction count and the full stats dict, for every scheme ×
+    pattern × L1-I geometry."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("bench", IDENTITY_BENCHMARKS)
+    def test_default_geometry(self, scheme, bench):
+        oracle, results = kernel_results(table1_config(scheme), bench)
+        for backend, result in results.items():
+            assert result.cycles == oracle.cycles, backend
+            assert result.instructions == oracle.instructions, backend
+            assert result.stats == oracle.stats, backend
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_wide_l1i_geometry(self, scheme):
+        config = with_l1i_block(table1_config(scheme), 64)
+        oracle, results = kernel_results(config, "gcc")
+        for backend, result in results.items():
+            assert result.cycles == oracle.cycles, backend
+            assert result.stats == oracle.stats, backend
+
+    @pytest.mark.parametrize("bench", IDENTITY_BENCHMARKS)
+    def test_object_oracle_chain(self, monkeypatch, bench):
+        """The full chain in one place: the object oracle equals the
+        vectorized backends (packed sits in between, covered above)."""
+        config = table1_config(SchemeKind.CHASH)
+        state = prepare_warm_state(config, bench, warmup=6_000)
+        monkeypatch.setenv(MEASURE_PATH_ENV, "object")
+        oracle = run_from_warm_state(config, bench, state,
+                                     instructions=2_000)
+        monkeypatch.setenv(MEASURE_PATH_ENV, "packed")
+        for backend in VEC_BACKENDS:
+            result = run_from_warm_state(config, bench, state,
+                                         instructions=2_000,
+                                         kernels=backend)
+            assert result.cycles == oracle.cycles, backend
+            assert result.instructions == oracle.instructions, backend
+            assert result.stats == oracle.stats, backend
+
+
+class TestWarmBackends:
+    """``warm_vec`` produces the same warmed hierarchy as ``warm_packed``
+    — snapshot-identical, so warm fingerprints can ignore the backend."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_warm_state_identical_across_backends(self, scheme):
+        config = table1_config(scheme)
+        reference = prepare_warm_state(config, "gcc", warmup=6_000,
+                                       kernels="packed")
+        for backend in VEC_BACKENDS:
+            state = prepare_warm_state(config, "gcc", warmup=6_000,
+                                       kernels=backend)
+            assert state.snapshot == reference.snapshot, backend
+            assert state.stream_state == reference.stream_state, backend
+
+
+# ---------------------------------------------------------------------------
+# edge cases the prepass must not mishandle
+# ---------------------------------------------------------------------------
+
+
+def copy_chunks(chunks):
+    """A deep copy, so each backend consumes pristine columns."""
+    return [tuple(list(column) for column in chunk) for chunk in chunks]
+
+
+def run_cold(config, chunks, kernels):
+    """Run ``chunks`` on a cold system; results plus the end state."""
+    system = SimulatedSystem(config)
+    result = system.run_chunks(copy_chunks(chunks), kernels=kernels)
+    return result, system.hierarchy.snapshot()
+
+
+def assert_backends_match_oracle(config, chunks):
+    oracle, end_state = run_cold(config, chunks, "packed")
+    for backend in VEC_BACKENDS:
+        result, state = run_cold(config, chunks, backend)
+        assert result.cycles == oracle.cycles, backend
+        assert result.instructions == oracle.instructions, backend
+        assert result.stats == oracle.stats, backend
+        assert state == end_state, backend
+
+
+class TestPrepassEdgeCases:
+    """Synthetic column chunks aimed at the prepass's weak spots."""
+
+    def test_same_set_dependent_runs(self):
+        """Loads chained by distance-1 dependencies, cycling over two more
+        blocks than one L1D set holds — every access both conflicts and
+        depends on the previous row's completion."""
+        config = table1_config(SchemeKind.CHASH)
+        l1d = config.l1d
+        stride = l1d.n_sets * l1d.block_bytes
+        ways = l1d.associativity + 2
+        rows = 768
+        kinds, pcs, addresses = [], [], []
+        dep1s, dep2s, latencies = [], [], []
+        for i in range(rows):
+            kinds.append(MEAS_LOAD if i % 3 else MEAS_STORE)
+            pcs.append(0x1000 + 4 * i)
+            addresses.append(0x4000 + (i % ways) * stride)
+            dep1s.append(1 if i else 0)
+            dep2s.append(0)
+            latencies.append(1)
+        chunks = [(kinds, pcs, addresses, dep1s, dep2s, latencies)]
+        assert_backends_match_oracle(config, chunks)
+
+    def test_eviction_storm(self):
+        """A block-stride sweep over 4x the L1D with full-block stores
+        mixed in: nearly every row misses and most evict a dirty block."""
+        config = table1_config(SchemeKind.MHASH)
+        l1d = config.l1d
+        footprint = 4 * l1d.n_blocks
+        rows = 1_024
+        kinds, pcs, addresses = [], [], []
+        dep1s, dep2s, latencies = [], [], []
+        for i in range(rows):
+            kinds.append(MEAS_STORE_FULL if i % 4 == 3 else MEAS_LOAD)
+            pcs.append(0x2000 + 4 * (i % 64))
+            addresses.append(0x8000 + (i % footprint) * l1d.block_bytes)
+            dep1s.append(0)
+            dep2s.append(0)
+            latencies.append(1)
+        chunks = [(kinds, pcs, addresses, dep1s, dep2s, latencies)]
+        assert_backends_match_oracle(config, chunks)
+
+    def test_compute_and_mispredict_mix(self):
+        """ALU/FP/branch rows (including mispredicts) interleaved with
+        loads: the non-memory latencies and the redirect penalty must
+        survive the vectorized precomputation."""
+        config = table1_config(SchemeKind.BASE)
+        pattern = (
+            (MEAS_ALU, 1), (MEAS_FP, 4), (MEAS_LOAD, 1),
+            (MEAS_BRANCH, 1), (MEAS_ALU, 1),
+            (MEAS_BRANCH_MISPREDICT, 1), (MEAS_FP, 4), (MEAS_LOAD, 1),
+        )
+        rows = 640
+        kinds, pcs, addresses = [], [], []
+        dep1s, dep2s, latencies = [], [], []
+        for i in range(rows):
+            kind, latency = pattern[i % len(pattern)]
+            kinds.append(kind)
+            pcs.append(0x3000 + 4 * i)
+            addresses.append(0x6000 + (i * 8) % 4_096
+                             if kind == MEAS_LOAD else 0)
+            dep1s.append(2 if i >= 2 else 0)
+            dep2s.append(5 if i >= 5 and i % 7 == 0 else 0)
+            latencies.append(latency)
+        chunks = [(kinds, pcs, addresses, dep1s, dep2s, latencies)]
+        assert_backends_match_oracle(config, chunks)
+
+    @pytest.mark.parametrize("backend", VEC_BACKENDS)
+    def test_chunk_boundary_straddles(self, backend):
+        """Re-chunking the same stream (odd 97-row chunks vs one big
+        chunk) cannot change results: line runs and page runs straddling
+        chunk boundaries must carry over exactly."""
+        config = table1_config(SchemeKind.CHASH)
+        profile = SPEC_PROFILES["gcc"]
+        n = 2_000
+        whole = list(InstructionStream(profile, 0).take_packed(
+            n, chunk_instructions=n))
+        straddled = list(InstructionStream(profile, 0).take_packed(
+            n, chunk_instructions=97))
+        oracle, end_state = run_cold(config, whole, "packed")
+        for chunks in (whole, straddled):
+            result, state = run_cold(config, chunks, backend)
+            assert result.cycles == oracle.cycles
+            assert result.stats == oracle.stats
+            assert state == end_state
+
+    @pytest.mark.parametrize("backend", VEC_BACKENDS)
+    def test_columns_are_not_mutated(self, backend):
+        """The warm-state trace cache hands the *same* column lists to
+        every cell and repeat — a backend that wrote into them would
+        corrupt every later run."""
+        config = table1_config(SchemeKind.CHASH)
+        profile = SPEC_PROFILES["mcf"]
+        chunks = list(InstructionStream(profile, 0).take_packed(
+            1_500, chunk_instructions=512))
+        pristine = copy_chunks(chunks)
+        system = SimulatedSystem(config)
+        system.run_chunks(chunks, kernels=backend)
+        assert chunks == pristine
+
+
+# ---------------------------------------------------------------------------
+# warm-state trace cache
+# ---------------------------------------------------------------------------
+
+
+class TestTraceCache:
+    """``WarmState.measured_chunks`` shares one generation pass across
+    cells and repeats without changing any result."""
+
+    def test_chunks_cached_per_count(self):
+        config = table1_config(SchemeKind.BASE)
+        state = prepare_warm_state(config, "gcc", warmup=6_000)
+        first = state.measured_chunks(1_000)
+        assert state.measured_chunks(1_000) is first
+        assert state.measured_chunks(500) is not first
+        # the cached trace is exactly the parked stream's suffix
+        stream = InstructionStream.from_state(state.profile,
+                                              state.stream_state)
+        assert first == list(stream.take_packed(1_000))
+
+    def test_repeats_from_one_state_are_identical(self):
+        config = table1_config(SchemeKind.CHASH)
+        state = prepare_warm_state(config, "swim", warmup=6_000)
+        first = run_from_warm_state(config, "swim", state,
+                                    instructions=1_500)
+        second = run_from_warm_state(config, "swim", state,
+                                     instructions=1_500)
+        assert second.cycles == first.cycles
+        assert second.stats == first.stats
+
+    def test_packed_oracle_regenerates(self):
+        """The ``packed`` escape hatch preserves the reference pipeline:
+        it streams from the parked state and never populates the cache."""
+        config = table1_config(SchemeKind.BASE)
+        state = prepare_warm_state(config, "gcc", warmup=6_000)
+        run_from_warm_state(config, "gcc", state, instructions=1_000,
+                            kernels="packed")
+        assert not state._traces
+        run_from_warm_state(config, "gcc", state, instructions=1_000)
+        assert list(state._traces) == [1_000]
+
+
+# ---------------------------------------------------------------------------
+# backend choice is metadata, never identity
+# ---------------------------------------------------------------------------
+
+
+class TestBackendIsNotCellIdentity:
+    """Two specs differing only in ``kernels`` are the same cell."""
+
+    def test_equality_hash_and_key(self):
+        plain = CellSpec(benchmark="gzip", scheme=SchemeKind.CHASH)
+        pinned = CellSpec(benchmark="gzip", scheme=SchemeKind.CHASH,
+                          kernels="fallback")
+        assert plain == pinned
+        assert hash(plain) == hash(pinned)
+        assert plain.key() == pinned.key()
+
+    def test_fingerprints_ignore_backend(self):
+        plain = CellSpec(benchmark="gzip", scheme=SchemeKind.CHASH,
+                         instructions=1_000, warmup=2_000)
+        pinned = CellSpec(benchmark="gzip", scheme=SchemeKind.CHASH,
+                          instructions=1_000, warmup=2_000,
+                          kernels="packed")
+        assert cell_fingerprint(plain) == cell_fingerprint(pinned)
+        assert warm_fingerprint(plain) == warm_fingerprint(pinned)
+
+    def test_resolved_backend(self, monkeypatch):
+        spec = CellSpec(benchmark="gzip", scheme=SchemeKind.BASE,
+                        kernels="fallback")
+        assert resolved_backend(spec) == "fallback"
+        auto = CellSpec(benchmark="gzip", scheme=SchemeKind.BASE)
+        assert resolved_backend(auto) == resolve_kernels()
+        monkeypatch.setenv(MEASURE_PATH_ENV, "object")
+        assert resolved_backend(spec) == "object"

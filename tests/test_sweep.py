@@ -386,8 +386,9 @@ class TestWarmSharing:
     def test_execute_group_rows_match_execute_cell(self):
         rows = execute_group(self.TIMING_CELLS)
         assert [spec for spec, *_ in rows] == self.TIMING_CELLS
-        for spec, result, _elapsed, _warm, _measure, error in rows:
+        for spec, result, _elapsed, _warm, _measure, backend, error in rows:
             assert error is None
+            assert backend is not None
             assert_same_result(result, execute_cell(spec))
 
     def test_group_warm_failure_fails_every_cell(self):
