@@ -183,6 +183,20 @@ def test_perf_measure():
     }
     with open(OUTPUT, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
+
+    # every REPRO_PERF=1 run also feeds the perf-trajectory ratchet: the
+    # kernels-column times land as one row keyed by host+backend, so
+    # `python -m repro bench --ratchet` tightens against the best of them
+    from repro.analysis import TRAJECTORY_DEFAULT, append_trajectory_row
+    from repro.kernels import resolve_kernels
+    append_trajectory_row(
+        TRAJECTORY_DEFAULT,
+        {key: {"instructions": INSTRUCTIONS, "warmup": WARMUP,
+               "seconds": cell["kernels_s"]}
+         for key, cell in {**machinery, **end_to_end}.items()},
+        backend=resolve_kernels(None),
+    )
+
     summary = record["summary"]
     print(f"\nwrote {OUTPUT}: kernels vs object "
           f"x{summary['machinery_vs_object_geomean']} (geomean), vs packed "

@@ -12,6 +12,11 @@ Commands:
     Perf regression gate: re-measure every cell of the committed
     baseline through the kernels pipeline and exit nonzero when any
     cell regressed by more than the tolerance (default 20%).
+``bench --ratchet [--trajectory BENCH_trajectory.json]``
+    Perf-trajectory ratchet: re-measure the ratchet cells, fail on
+    >tolerance regression against the best committed row for this
+    host+backend, and append the fresh row (improvements tighten the
+    floor automatically).
 ``compare BENCHMARK``
     Run all five schemes on one benchmark and print the comparison.
 ``experiments``
@@ -20,8 +25,16 @@ Commands:
     Print the Section 6.1 hash-unit logic-overhead sizing.
 ``trace BENCHMARK PATH [-n N]``
     Save a deterministic instruction trace of a benchmark model.
-``sweep --figure FIG [--jobs N] [--no-cache] [--fresh] [--kernels K]``
-    Run a whole figure grid in parallel with the persistent result cache.
+``sweep --figure FIG [--jobs N] [--store S] [--no-cache] [--fresh]``
+    Run a whole figure grid in parallel with the tiered result store
+    (``--jobs 0`` = one worker per CPU; ``--store PATH|URL`` adds a
+    shared L2 tier, also via ``REPRO_STORE``).
+``store-serve [--root DIR] [--host H] [--port P]``
+    Serve a store directory over HTTP so several hosts can pool one
+    cache (the ``--store http://host:port`` counterpart).
+``cache prune [--cache-dir DIR] [--store S] [--tmp-only]``
+    Remove stale ``*.json.tmp*`` droppings and unreadable/schema-
+    mismatched entries, reporting reclaimed bytes.
 ``check [PATHS ...] [--format text|github] [--selftest] [--list-rules]``
     Static-analysis gate: determinism, snapshot-completeness,
     counter-symmetry, and scheme-API conformance passes.
@@ -83,6 +96,11 @@ def _cmd_attacks(_args) -> int:
 
 
 def _one_cell(args) -> int:
+    if args.ratchet:
+        from .analysis import ratchet_bench
+        lines, ok = ratchet_bench(args.trajectory, tolerance=args.tolerance)
+        print("\n".join(lines))
+        return 0 if ok else 1
     if args.compare:
         from .analysis import compare_bench
         try:
@@ -94,8 +112,8 @@ def _one_cell(args) -> int:
         print("\n".join(lines))
         return 0 if ok else 1
     if args.benchmark is None:
-        print("bench: BENCHMARK is required unless --compare is given",
-              file=sys.stderr)
+        print("bench: BENCHMARK is required unless --compare or --ratchet "
+              "is given", file=sys.stderr)
         return 2
     scheme = SchemeKind(args.scheme)
     config = table1_config(scheme)
@@ -146,9 +164,10 @@ def _cmd_area(_args) -> int:
 
 def _cmd_sweep(args) -> int:
     import dataclasses
+    import os
 
     from .analysis import sweep_ipc_table
-    from .sim.sweep import DiskCellCache, figure_cells, run_cells
+    from .sim.sweep import STORE_ENV, build_store, figure_cells, run_cells
 
     try:
         cells = figure_cells(args.figure, benchmarks=args.benchmarks,
@@ -159,11 +178,19 @@ def _cmd_sweep(args) -> int:
     if args.kernels:
         cells = [dataclasses.replace(cell, kernels=args.kernels)
                  for cell in cells]
-    cache = None if args.no_cache else DiskCellCache(args.cache_dir)
+    store_spec = args.store if args.store is not None \
+        else os.environ.get(STORE_ENV)
+    cache = None if args.no_cache else build_store(args.cache_dir, store_spec)
+    if args.prune_tmp and cache is not None:
+        pruned = cache.prune(remove_entries=False)
+        if pruned.removed:
+            print(f"pruned {pruned.removed} tmp dropping(s), reclaimed "
+                  f"{pruned.reclaimed_bytes} bytes")
 
     def progress(outcome) -> None:
         if outcome.source == "cached":
-            print(f"  [cached       ] {outcome.spec.label()}")
+            tier = "L2 shared" if outcome.tier == "shared" else "L1 local"
+            print(f"  [cached {tier:6s}] {outcome.spec.label()}")
         elif outcome.source == "failed":
             print(f"  [FAILED       ] {outcome.spec.label()}: {outcome.error}")
         elif outcome.warm_s or outcome.measure_s:
@@ -183,9 +210,46 @@ def _cmd_sweep(args) -> int:
     print()
     print(report.summary())
     if cache is not None:
-        print(f"cache: {cache.hits} hits, {cache.misses} misses "
-              f"({cache.root})")
+        for line in cache.counter_lines():
+            print(f"store {line}")
     return 1 if report.failed else 0
+
+
+def _cmd_store_serve(args) -> int:
+    from .sim.sweep import make_store_server
+
+    try:
+        server = make_store_server(args.root, host=args.host, port=args.port)
+    except OSError as error:
+        print(f"store-serve: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"serving result store {args.root} at http://{host}:{port} "
+          f"(point sweeps at it with --store or REPRO_STORE; Ctrl-C stops)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    import os
+
+    from .sim.sweep import STORE_ENV, build_store
+
+    if args.action != "prune":  # argparse enforces; belt and braces
+        print(f"cache: unknown action {args.action!r}", file=sys.stderr)
+        return 2
+    store_spec = args.store if args.store is not None \
+        else os.environ.get(STORE_ENV)
+    store = build_store(args.cache_dir, store_spec)
+    report = store.prune(remove_entries=not args.tmp_only)
+    print(f"cache prune ({store.describe()}): {report.summary()}")
+    return 0
 
 
 def _cmd_check(args) -> int:
@@ -243,9 +307,18 @@ def main(argv=None) -> int:
                        help="perf regression gate: re-measure every cell "
                             "of this BENCH_measure.json baseline and exit "
                             "nonzero on any regression beyond --tolerance")
+    bench.add_argument("--ratchet", action="store_true",
+                       help="perf-trajectory ratchet: compare against the "
+                            "best committed row for this host+backend, "
+                            "append the fresh measurements, exit nonzero "
+                            "on any regression beyond --tolerance")
+    bench.add_argument("--trajectory", default="BENCH_trajectory.json",
+                       metavar="PATH",
+                       help="trajectory file for --ratchet "
+                            "(default: BENCH_trajectory.json)")
     bench.add_argument("--tolerance", type=float, default=0.20,
-                       help="allowed per-cell slowdown for --compare "
-                            "(default: 0.20 = 20%%)")
+                       help="allowed per-cell slowdown for --compare / "
+                            "--ratchet (default: 0.20 = 20%%)")
 
     compare = sub.add_parser("compare")
     compare.add_argument("benchmark", choices=BENCHMARK_ORDER)
@@ -258,22 +331,54 @@ def main(argv=None) -> int:
                        choices=BENCHMARK_ORDER,
                        help="subset of benchmarks (default: all nine)")
     sweep.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (default: 1)")
+                       help="worker processes (default: 1; 0 = one per CPU)")
     sweep.add_argument("--instructions", type=int, default=12_000)
     sweep.add_argument("--no-cache", action="store_true",
-                       help="disable the on-disk result cache entirely")
+                       help="disable the on-disk result store entirely")
     sweep.add_argument("--fresh", action="store_true",
                        help="ignore cached results but store new ones")
     sweep.add_argument("--no-warm-share", action="store_true",
                        help="warm every cell from scratch instead of "
                             "sharing warm-state snapshots per warm key")
     sweep.add_argument("--cache-dir", default=None,
-                       help="cache root (default: .repro_cache)")
+                       help="local (L1) store root (default: .repro_cache)")
+    sweep.add_argument("--store", default=None, metavar="PATH|URL",
+                       help="shared (L2) store: a shared-filesystem path "
+                            "or an http(s)://host:port store-serve "
+                            "coordinator (default: $REPRO_STORE, else "
+                            "local-only)")
+    sweep.add_argument("--prune-tmp", action="store_true",
+                       help="remove stale *.json.tmp* droppings from the "
+                            "store before sweeping")
     sweep.add_argument("--kernels", default=None,
                        choices=["auto", "numpy", "fallback", "packed"],
                        help="kernel backend for warm-up and measurement "
                             "(default: $REPRO_KERNELS, then auto); "
                             "bit-identical either way")
+
+    serve = sub.add_parser("store-serve")
+    serve.add_argument("--root", default=".repro_store",
+                       help="store directory to serve "
+                            "(default: .repro_store)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1; use "
+                            "0.0.0.0 to pool across hosts)")
+    serve.add_argument("--port", type=int, default=8737,
+                       help="TCP port (default: 8737; 0 = ephemeral)")
+
+    cache_cmd = sub.add_parser("cache")
+    cache_cmd.add_argument("action", choices=["prune"],
+                           help="prune: delete tmp droppings and "
+                                "unreadable/schema-mismatched entries")
+    cache_cmd.add_argument("--cache-dir", default=None,
+                           help="local store root (default: .repro_cache)")
+    cache_cmd.add_argument("--store", default=None, metavar="PATH|URL",
+                           help="also prune this shared store "
+                                "(default: $REPRO_STORE; HTTP stores are "
+                                "pruned by their serving coordinator)")
+    cache_cmd.add_argument("--tmp-only", action="store_true",
+                           help="only remove tmp droppings, keep entries "
+                                "that fail validation")
 
     check = sub.add_parser("check")
     check.add_argument("paths", nargs="*", default=[],
@@ -303,6 +408,8 @@ def main(argv=None) -> int:
         "experiments": _cmd_experiments,
         "area": _cmd_area,
         "sweep": _cmd_sweep,
+        "store-serve": _cmd_store_serve,
+        "cache": _cmd_cache,
         "check": _cmd_check,
         "trace": _cmd_trace,
     }

@@ -1,7 +1,15 @@
 """Result tables and the experiment registry."""
 
 from .experiments import EXPERIMENTS, Experiment, experiment_index_markdown
-from .perf import compare_bench
+from .perf import (
+    TRAJECTORY_DEFAULT,
+    append_trajectory_row,
+    compare_bench,
+    host_fingerprint,
+    load_trajectory,
+    ratchet_bench,
+    trajectory_baseline,
+)
 from .tables import (
     format_table,
     ipc_table,
@@ -14,7 +22,13 @@ from .tables import (
 __all__ = [
     "EXPERIMENTS",
     "Experiment",
+    "TRAJECTORY_DEFAULT",
+    "append_trajectory_row",
     "compare_bench",
+    "host_fingerprint",
+    "load_trajectory",
+    "ratchet_bench",
+    "trajectory_baseline",
     "experiment_index_markdown",
     "format_table",
     "ipc_table",

@@ -1,13 +1,16 @@
-"""Sweep engine: declarative cells, parallel runner, persistent cache.
+"""Sweep engine: declarative cells, parallel runner, tiered result store.
 
 ``grid`` keeps the original sequential :func:`run_grid` API; everything
 else is the cell-based engine: :class:`CellSpec` (declarative cells),
-:func:`cell_fingerprint` (content-addressed identity),
-:class:`DiskCellCache` (persistent on-disk results) and :func:`run_cells`
-(deterministic parallel execution).
+:func:`cell_fingerprint` (content-addressed identity), the
+:mod:`~repro.sim.sweep.store` tier hierarchy (:class:`DiskCellCache` as
+the local L1, :class:`DirectoryStore`/:class:`HttpStore` as shareable
+L2s, :class:`TieredStore` combining them), the cost-aware work-stealing
+:mod:`~repro.sim.sweep.schedule`, and :func:`run_cells` (deterministic
+parallel execution).
 """
 
-from .diskcache import DEFAULT_CACHE_DIR, DiskCellCache, result_from_dict, result_to_dict
+from .diskcache import DiskCellCache
 from .figures import FIGURES, figure_cells
 from .fingerprint import (
     CACHE_SCHEMA_VERSION,
@@ -22,21 +25,49 @@ from .runner import (
     SweepReport,
     execute_cell,
     execute_group,
+    resolve_jobs,
     results_grid,
     run_cells,
 )
+from .schedule import CostModel, WorkQueue, balance_groups, split_group
 from .spec import CELL_PARAMS, CellSpec, cell_param_defaults
+from .store import (
+    DEFAULT_CACHE_DIR,
+    STORE_ENV,
+    DirectoryStore,
+    Fetched,
+    HttpStore,
+    PruneReport,
+    ResultStore,
+    TieredStore,
+    build_store,
+    make_store_server,
+    open_store,
+    result_from_dict,
+    result_to_dict,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CELL_PARAMS",
     "CellOutcome",
     "CellSpec",
+    "CostModel",
     "DEFAULT_CACHE_DIR",
+    "DirectoryStore",
     "DiskCellCache",
     "FIGURES",
+    "Fetched",
+    "HttpStore",
+    "PruneReport",
+    "ResultStore",
+    "STORE_ENV",
     "SweepReport",
+    "TieredStore",
+    "WorkQueue",
+    "balance_groups",
     "baseline_of",
+    "build_store",
     "cell_fingerprint",
     "cell_param_defaults",
     "config_from_dict",
@@ -44,10 +75,14 @@ __all__ = [
     "execute_cell",
     "execute_group",
     "figure_cells",
-    "warm_fingerprint",
+    "make_store_server",
+    "open_store",
+    "resolve_jobs",
     "result_from_dict",
     "result_to_dict",
     "results_grid",
     "run_cells",
     "run_grid",
+    "split_group",
+    "warm_fingerprint",
 ]

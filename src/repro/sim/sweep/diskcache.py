@@ -1,123 +1,43 @@
-"""Persistent on-disk cell-result cache under ``.repro_cache/``.
+"""The local on-disk cell cache — now the L1 tier of the store layer.
 
-Layout: one JSON file per cell, named ``<fingerprint>.json`` where the
-fingerprint comes from :mod:`repro.sim.sweep.fingerprint`.  Each file
-holds the schema version, the fingerprint (self-check), a human-readable
-description of the cell, the serialized :class:`SimResult` and the
-wall-clock cost of the run that produced it.
+Historically this module held the whole persistent cache; the store
+hierarchy grew out of it and lives in :mod:`repro.sim.sweep.store`.
+:class:`DiskCellCache` remains as the canonical *local* store (default
+root ``.repro_cache/``) with its original API — ``get``/``put``/
+``path_for``/``len``/``hits``/``misses`` — so existing callers and the
+benchmark harness keep working unchanged; tier it with a shared L2 via
+:func:`repro.sim.sweep.store.build_store`.
 
-Robustness contract: a corrupted, truncated, schema-mismatched or
-otherwise unreadable entry is a *miss* (logged at warning level), never an
-error — the sweep recomputes and overwrites it.  Writes go through a
-temporary file + :func:`os.replace` so a killed sweep can't leave a
-half-written entry behind.
+Robustness contract (unchanged): a corrupted, truncated,
+schema-mismatched or otherwise unreadable entry is a *miss* (logged at
+warning level), never an error — the sweep recomputes and overwrites
+it.  Writes go through a unique temporary file + :func:`os.replace`, so
+a killed sweep can't leave a half-written entry behind and concurrent
+writers on a shared filesystem can't collide.
 """
 
 from __future__ import annotations
 
-import json
-import logging
-import os
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
 
-from ..results import SimResult
-from .fingerprint import CACHE_SCHEMA_VERSION, config_from_dict, config_to_dict
-from .spec import CellSpec
+from .store import (
+    DEFAULT_CACHE_DIR,
+    DirectoryStore,
+    result_from_dict,
+    result_to_dict,
+)
 
-logger = logging.getLogger(__name__)
-
-#: default cache root, relative to the current working directory.
-DEFAULT_CACHE_DIR = ".repro_cache"
-
-
-def result_to_dict(result: SimResult) -> dict:
-    """Serialize a :class:`SimResult` (config tree included) to plain data."""
-    return {
-        "benchmark": result.benchmark,
-        "scheme": result.scheme,
-        "config": config_to_dict(result.config),
-        "instructions": result.instructions,
-        "cycles": result.cycles,
-        "stats": dict(result.stats),
-    }
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "DiskCellCache",
+    "result_from_dict",
+    "result_to_dict",
+]
 
 
-def result_from_dict(data: dict) -> SimResult:
-    """Rebuild a :class:`SimResult` from :func:`result_to_dict` output."""
-    return SimResult(
-        benchmark=data["benchmark"],
-        scheme=data["scheme"],
-        config=config_from_dict(data["config"]),
-        instructions=data["instructions"],
-        cycles=data["cycles"],
-        stats=dict(data["stats"]),
-    )
-
-
-class DiskCellCache:
-    """Content-addressed store of finished cells."""
+class DiskCellCache(DirectoryStore):
+    """Content-addressed store of finished cells under ``.repro_cache/``."""
 
     def __init__(self, root: Union[str, Path, None] = None):
-        self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
-        self.hits = 0
-        self.misses = 0
-
-    def path_for(self, fingerprint: str) -> Path:
-        return self.root / f"{fingerprint}.json"
-
-    def get(self, fingerprint: str) -> Optional[SimResult]:
-        """The cached result for ``fingerprint``, or ``None`` on any miss."""
-        path = self.path_for(fingerprint)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-            if data.get("schema") != CACHE_SCHEMA_VERSION:
-                raise ValueError(f"schema {data.get('schema')!r} != "
-                                 f"{CACHE_SCHEMA_VERSION}")
-            if data.get("fingerprint") != fingerprint:
-                raise ValueError("fingerprint mismatch inside entry")
-            result = result_from_dict(data["result"])
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (OSError, ValueError, KeyError, TypeError) as error:
-            # ValueError covers json.JSONDecodeError and our own checks.
-            logger.warning("ignoring unreadable cache entry %s: %s",
-                           path, error)
-            self.misses += 1
-            return None
-        self.hits += 1
-        return result
-
-    def put(self, fingerprint: str, spec: CellSpec, result: SimResult,
-            elapsed_s: float, backend: Optional[str] = None) -> None:
-        """Store ``result`` atomically; failures are logged, not raised.
-
-        ``backend`` records which kernel backend produced the entry —
-        pure provenance metadata: it never enters the fingerprint, and
-        :meth:`get` ignores it, because backends are bit-identical.
-        """
-        path = self.path_for(fingerprint)
-        entry = {
-            "schema": CACHE_SCHEMA_VERSION,
-            "fingerprint": fingerprint,
-            "cell": spec.label(),
-            "elapsed_s": round(elapsed_s, 4),
-            "backend": backend,
-            "result": result_to_dict(result),
-        }
-        try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".json.tmp%d" % os.getpid())
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, separators=(",", ":"))
-            os.replace(tmp, path)
-        except OSError as error:  # pragma: no cover - disk trouble
-            logger.warning("could not write cache entry %s: %s", path, error)
-
-    def __len__(self) -> int:
-        try:
-            return sum(1 for _ in self.root.glob("*.json"))
-        except OSError:  # pragma: no cover - disk trouble
-            return 0
+        super().__init__(root, label="local")

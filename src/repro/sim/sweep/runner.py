@@ -8,15 +8,23 @@ keyed by cell rather than by completion order — so a sweep is
 cold run computed.
 
 Flow per sweep: normalize + dedupe the requested cells, satisfy what the
-:class:`~repro.sim.sweep.diskcache.DiskCellCache` already holds, fan the
-misses out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-(``jobs=1`` stays in-process), write fresh results back, and return a
-:class:`SweepReport` with per-cell wall-clock timings and a run/cached/
+result store already holds (a local
+:class:`~repro.sim.sweep.diskcache.DiskCellCache` or a tiered
+local+shared :class:`~repro.sim.sweep.store.TieredStore` — an L2 hit is
+hydrated into L1 and reported per tier), then dispatch the misses as
+warm groups through a cost-aware work-stealing queue
+(:mod:`repro.sim.sweep.schedule`): groups go out costliest-first over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (``jobs=1`` stays
+in-process), idle workers pull the next group, and oversized groups are
+split dynamically when workers would starve.  Fresh results are written
+back through the store and the sweep returns a :class:`SweepReport`
+with per-cell timings, per-tier store accounting and the run/cached/
 failed summary.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -30,17 +38,29 @@ from ..system import (
     run_benchmark,
     run_from_warm_state,
 )
-from .diskcache import DiskCellCache
 from .fingerprint import cell_fingerprint, warm_fingerprint
+from .schedule import CostModel, WorkQueue, balance_groups
 from .spec import CellSpec
+from .store import ResultStore
+
+#: kept under its historical name — the static reference balancer the
+#: work-stealing queue generalizes (tests pin both behaviors).
+_balance_groups = balance_groups
+
+
+def resolve_jobs(jobs: int) -> int:
+    """``0`` means auto (one worker per CPU); anything else clamps to 1+."""
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
 
 
 def resolved_backend(spec: CellSpec) -> str:
     """The concrete backend label ``spec``'s measured suffix runs on.
 
     Execution metadata only (recorded on :class:`CellOutcome` and in
-    disk-cache entries) — never part of cell identity, because every
-    backend is bit-identical.
+    store entries) — never part of cell identity, because every backend
+    is bit-identical.
     """
     if not packed_measure_default():
         return "object"
@@ -137,6 +157,10 @@ class CellOutcome:
     #: ``fallback``/``packed``/``object``; ``None`` for cached or failed
     #: cells).  Metadata only — backends are bit-identical.
     backend: Optional[str] = None
+    #: Store tier that satisfied a ``cached`` cell (``"local"`` for the
+    #: L1 directory, ``"shared"`` for an L2 hit hydrated into L1);
+    #: ``None`` for run/failed cells.
+    tier: Optional[str] = None
 
 
 @dataclass
@@ -146,9 +170,16 @@ class SweepReport:
     outcomes: List[CellOutcome] = field(default_factory=list)
     jobs: int = 1
     elapsed_s: float = 0.0
-    #: Warm-sharing groups the pending cells were scheduled into
-    #: (0 when nothing ran or sharing was disabled).
+    #: Warm-sharing groups actually dispatched (0 when nothing ran or
+    #: sharing was disabled).
     warm_groups: int = 0
+    #: Dynamic group splits the work-stealing queue performed to keep
+    #: idle workers busy (each costs one redundant warm-up).
+    steals: int = 0
+    #: Whether a result store was consulted (False for ``cache=None``).
+    store_used: bool = False
+    #: Store lookups that missed every tier (the cells that had to run).
+    store_misses: int = 0
 
     @property
     def results(self) -> Dict[CellSpec, SimResult]:
@@ -174,6 +205,14 @@ class SweepReport:
     def failed(self) -> List[CellOutcome]:
         return self._by_source("failed")
 
+    def cached_by_tier(self) -> Dict[str, int]:
+        """Cached-cell counts per store tier (``local``/``shared``)."""
+        counts: Dict[str, int] = {}
+        for outcome in self.cached:
+            tier = outcome.tier or "local"
+            counts[tier] = counts.get(tier, 0) + 1
+        return counts
+
     def summary(self) -> str:
         """Multi-line sweep accounting for the end of a CLI run."""
         ran, cached, failed = self.ran, self.cached, self.failed
@@ -182,6 +221,13 @@ class SweepReport:
             f"{len(cached)} cached, {len(failed)} failed "
             f"in {self.elapsed_s:.1f}s wall ({self.jobs} jobs)"
         ]
+        if self.store_used:
+            tiers = self.cached_by_tier()
+            lines.append(
+                f"  store: {tiers.get('local', 0)} local (L1) hits, "
+                f"{tiers.get('shared', 0)} shared (L2) hits, "
+                f"{self.store_misses} misses"
+            )
         if ran:
             cell_time = sum(o.elapsed_s for o in ran)
             lines.append(
@@ -205,6 +251,12 @@ class SweepReport:
                         f"{'s' if self.warm_groups != 1 else ''})"
                     )
                 lines.append(split)
+            if self.steals:
+                lines.append(
+                    f"  work stealing: {self.steals} idle split"
+                    f"{'s' if self.steals != 1 else ''} "
+                    f"(extra warm-ups traded for parallelism)"
+                )
         if failed:
             for outcome in failed:
                 lines.append(f"  FAILED {outcome.spec.label()}: {outcome.error}")
@@ -214,51 +266,35 @@ class SweepReport:
 ProgressFn = Callable[[CellOutcome], None]
 
 
-def _balance_groups(groups: List[List[CellSpec]],
-                    jobs: int) -> List[List[CellSpec]]:
-    """Split the largest warm groups until every worker can get one.
-
-    A grid whose cells all share one warm key (e.g. fig7: one geometry,
-    six buffer depths) would otherwise serialize on a single worker.
-    Splitting a group costs one extra warm-up but restores parallelism;
-    since measuring from a restored snapshot is bit-identical to warming
-    from scratch, any split yields identical results.
-    """
-    total = sum(len(group) for group in groups)
-    target = min(jobs, total)
-    groups = [list(group) for group in groups]
-    while len(groups) < target:
-        largest = max(range(len(groups)), key=lambda i: len(groups[i]))
-        group = groups[largest]
-        if len(group) < 2:
-            break
-        half = len(group) // 2
-        groups[largest] = group[:half]
-        groups.append(group[half:])
-    return groups
-
-
 def run_cells(
     cells: Iterable[CellSpec],
     jobs: int = 1,
-    cache: Optional[DiskCellCache] = None,
+    cache: Optional[ResultStore] = None,
     fresh: bool = False,
     progress: Optional[ProgressFn] = None,
     share_warm: bool = True,
 ) -> SweepReport:
     """Run a sweep; see module docstring for the exact flow.
 
-    ``cache=None`` disables the disk cache entirely; ``fresh=True`` keeps
-    the cache but ignores existing entries (recomputing and overwriting
+    ``cache`` is any :class:`~repro.sim.sweep.store.ResultStore` — the
+    plain local :class:`DiskCellCache`, a shared
+    :class:`~repro.sim.sweep.store.DirectoryStore`/``HttpStore``, or a
+    :class:`~repro.sim.sweep.store.TieredStore` combining both.
+    ``cache=None`` disables persistence entirely; ``fresh=True`` keeps
+    the store but ignores existing entries (recomputing and overwriting
     them).  Duplicate cells (figures share rows) are computed once.
 
+    ``jobs=0`` means one worker per CPU (``os.cpu_count()``).
+
     ``share_warm`` (default on) schedules the cache-miss cells in groups
-    keyed by :func:`warm_fingerprint`: each group warms once and every
-    member cell measures from a restored snapshot of that state.  Results
-    are bit-identical with sharing on or off, and for any ``jobs`` — only
-    the wall-clock changes.
+    keyed by :func:`warm_fingerprint` through the work-stealing queue:
+    each group warms once and every member cell measures from a restored
+    snapshot of that state.  Results are bit-identical with sharing on
+    or off, for any store tiering, and for any ``jobs`` — only the
+    wall-clock changes.
     """
     started = time.perf_counter()
+    jobs = resolve_jobs(jobs)
     unique: List[CellSpec] = []
     seen = set()
     for cell in cells:
@@ -270,13 +306,17 @@ def run_cells(
     fingerprints = {spec: cell_fingerprint(spec) for spec in unique}
     outcomes: Dict[CellSpec, CellOutcome] = {}
     pending: List[CellSpec] = []
+    store_misses = 0
 
     for spec in unique:
-        cached = None
+        fetched = None
         if cache is not None and not fresh:
-            cached = cache.get(fingerprints[spec])
-        if cached is not None:
-            outcome = CellOutcome(spec, cached, 0.0, "cached")
+            fetched = cache.fetch(fingerprints[spec])
+            if fetched is None:
+                store_misses += 1
+        if fetched is not None:
+            outcome = CellOutcome(spec, fetched.result, 0.0, "cached",
+                                  tier=fetched.tier)
             outcomes[spec] = outcome
             if progress is not None:
                 progress(outcome)
@@ -303,10 +343,17 @@ def run_cells(
             record(spec, result, elapsed, error,
                    warm_s=warm_s, measure_s=measure_s, backend=backend)
 
+    cost_model = CostModel.from_store(cache) if pending else CostModel()
     warm_groups = 0
+    steals = 0
     if not share_warm:
-        if jobs <= 1 or len(pending) <= 1:
-            for spec in pending:
+        # costliest-first submission order: the executor's own task queue
+        # already gives dynamic per-cell pulling, LPT ordering just keeps
+        # the long poles from landing last
+        ordered = sorted(pending,
+                         key=lambda s: (-cost_model.cell_cost(s), s.label()))
+        if jobs <= 1 or len(ordered) <= 1:
+            for spec in ordered:
                 try:
                     result, elapsed, backend = _timed_execute(spec)
                 except Exception as error:  # noqa: BLE001 - cell isolation
@@ -316,12 +363,12 @@ def run_cells(
         else:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = {pool.submit(_timed_execute, spec): spec
-                           for spec in pending}
+                           for spec in ordered}
                 remaining = set(futures)
                 while remaining:
                     done, remaining = wait(remaining,
                                            return_when=FIRST_COMPLETED)
-                    for future in done:
+                    for future in sorted(done, key=lambda f: str(futures[f])):
                         spec = futures[future]
                         try:
                             result, elapsed, backend = future.result()
@@ -334,23 +381,32 @@ def run_cells(
         grouped: Dict[str, List[CellSpec]] = {}
         for spec in pending:
             grouped.setdefault(warm_fingerprint(spec), []).append(spec)
-        groups = list(grouped.values())
-        if jobs > 1:
-            groups = _balance_groups(groups, jobs)
-        warm_groups = len(groups)
-        if jobs <= 1 or len(groups) <= 1:
-            for group in groups:
+        queue = WorkQueue([grouped[key] for key in sorted(grouped)],
+                          cost_model)
+        if jobs <= 1:
+            while True:
+                group = queue.take(1)
+                if group is None:
+                    break
                 record_rows(execute_group(group))
         else:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = {pool.submit(execute_group, group): group
-                           for group in groups}
-                remaining = set(futures)
-                while remaining:
-                    done, remaining = wait(remaining,
-                                           return_when=FIRST_COMPLETED)
-                    for future in done:
-                        group = futures[future]
+                in_flight: Dict = {}
+                while True:
+                    # idle workers pull; the queue splits the costliest
+                    # group when fewer groups remain than idle workers
+                    while len(in_flight) < jobs:
+                        group = queue.take(jobs - len(in_flight))
+                        if group is None:
+                            break
+                        in_flight[pool.submit(execute_group, group)] = group
+                    if not in_flight:
+                        break
+                    done, _ = wait(set(in_flight),
+                                   return_when=FIRST_COMPLETED)
+                    for future in sorted(done,
+                                         key=lambda f: str(in_flight[f])):
+                        group = in_flight.pop(future)
                         try:
                             rows = future.result()
                         except Exception as error:  # noqa: BLE001
@@ -359,13 +415,18 @@ def run_cells(
                                 record(spec, None, 0.0, message)
                         else:
                             record_rows(rows)
+        warm_groups = queue.dispatched
+        steals = queue.splits
 
-    ordered = [outcomes[spec] for spec in unique]
+    ordered_outcomes = [outcomes[spec] for spec in unique]
     return SweepReport(
-        outcomes=ordered,
-        jobs=max(1, jobs),
+        outcomes=ordered_outcomes,
+        jobs=jobs,
         elapsed_s=time.perf_counter() - started,
         warm_groups=warm_groups,
+        steals=steals,
+        store_used=cache is not None,
+        store_misses=store_misses,
     )
 
 

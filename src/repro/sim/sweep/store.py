@@ -1,0 +1,685 @@
+"""Tiered, shareable content-addressed result stores for the sweep engine.
+
+Every finished cell is one JSON *entry* keyed by its SHA-256
+:func:`~repro.sim.sweep.fingerprint.cell_fingerprint` — the fingerprint
+covers everything that determines the result, so an entry computed on
+any host is valid on every other host by construction.  This module
+generalizes the original single-directory ``DiskCellCache`` into a
+small store hierarchy:
+
+* :class:`DirectoryStore` — entries as ``<fingerprint>.json`` files
+  under one root (a local ``.repro_cache/`` or any shared filesystem
+  path, e.g. NFS);
+* :class:`HttpStore` — the same entries behind a coordinator speaking
+  plain HTTP (``GET``/``PUT /cells/<fingerprint>``), served by
+  ``python -m repro store-serve`` (:func:`make_store_server`) — both
+  ends stdlib-only;
+* :class:`TieredStore` — a read-through / write-back pair: the local
+  directory is L1, a shared directory or HTTP store is L2.  An L2 hit
+  is *hydrated* into L1 so the next sweep on this host never leaves
+  the local disk; a fresh result is written back to both tiers so
+  every pooled host benefits.
+
+Robustness contract (inherited from the original cache): a corrupted,
+truncated, schema-mismatched or unreachable entry is a logged *miss*,
+never an error — the sweep recomputes and overwrites it.  Writes are
+atomic (unique temporary file + ``os.replace``); temporary names embed
+the hostname, PID and a monotonic nonce so concurrent writers on a
+shared filesystem can never clobber each other's half-written files.
+
+Each directory store also keeps a ``_costs.json`` sidecar aggregating
+the observed ``elapsed_s`` per ``benchmark/scheme`` — the cost history
+the work-stealing scheduler (:mod:`repro.sim.sweep.schedule`) uses to
+order warm groups.  The sidecar is an *advisory hint*: it never affects
+results, only dispatch order, and a lost update merely degrades the
+schedule estimate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import os
+import re
+import socket
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Tuple, Union
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from ..results import SimResult
+from .fingerprint import CACHE_SCHEMA_VERSION, config_from_dict, config_to_dict
+from .spec import CellSpec
+
+logger = logging.getLogger(__name__)
+
+#: default local (L1) store root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: environment variable naming the shared (L2) store for ``repro sweep``.
+STORE_ENV = "REPRO_STORE"
+
+#: a store entry's file name stem: the 64-hex-digit cell fingerprint.
+_FINGERPRINT_RE = re.compile(r"^[0-9a-f]{64}$")
+
+#: errors the robustness contract converts into logged misses.
+_STORE_ERRORS = (OSError, ValueError, KeyError, TypeError)
+
+#: cost-history sidecar file name (never a valid fingerprint name).
+_COSTS_NAME = "_costs.json"
+
+
+def result_to_dict(result: SimResult) -> dict:
+    """Serialize a :class:`SimResult` (config tree included) to plain data."""
+    return {
+        "benchmark": result.benchmark,
+        "scheme": result.scheme,
+        "config": config_to_dict(result.config),
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "stats": dict(result.stats),
+    }
+
+
+def result_from_dict(data: dict) -> SimResult:
+    """Rebuild a :class:`SimResult` from :func:`result_to_dict` output."""
+    return SimResult(
+        benchmark=data["benchmark"],
+        scheme=data["scheme"],
+        config=config_from_dict(data["config"]),
+        instructions=data["instructions"],
+        cycles=data["cycles"],
+        stats=dict(data["stats"]),
+    )
+
+
+def entry_for(fingerprint: str, spec: CellSpec, result: SimResult,
+              elapsed_s: float, backend: Optional[str] = None) -> dict:
+    """The canonical store entry for one finished cell."""
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "cell": spec.label(),
+        "elapsed_s": round(elapsed_s, 4),
+        "backend": backend,
+        "result": result_to_dict(result),
+    }
+
+
+def validate_entry(fingerprint: str, data: dict) -> SimResult:
+    """Check an entry's self-description and rebuild its result.
+
+    Raises ``ValueError``/``KeyError``/``TypeError`` on any mismatch —
+    callers go through :meth:`ResultStore.read_valid`, which downgrades
+    every such failure to a miss.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"entry is {type(data).__name__}, not an object")
+    if data.get("schema") != CACHE_SCHEMA_VERSION:
+        raise ValueError(f"schema {data.get('schema')!r} != "
+                         f"{CACHE_SCHEMA_VERSION}")
+    if data.get("fingerprint") != fingerprint:
+        raise ValueError("fingerprint mismatch inside entry")
+    return result_from_dict(data["result"])
+
+
+def cost_key(entry: dict) -> Optional[str]:
+    """The ``benchmark/scheme`` cost-history bucket of an entry."""
+    label = entry.get("cell")
+    if not isinstance(label, str):
+        return None
+    parts = label.split("/")
+    if len(parts) < 2:
+        return None
+    return f"{parts[0]}/{parts[1]}"
+
+
+class Fetched(NamedTuple):
+    """One successful store lookup: the result plus the tier that had it."""
+
+    result: SimResult
+    tier: str
+
+
+@dataclass
+class PruneReport:
+    """What ``prune`` removed (and what it left alone)."""
+
+    removed: int = 0
+    reclaimed_bytes: int = 0
+    kept: int = 0
+
+    def merge(self, other: "PruneReport") -> "PruneReport":
+        return PruneReport(self.removed + other.removed,
+                           self.reclaimed_bytes + other.reclaimed_bytes,
+                           self.kept + other.kept)
+
+    def summary(self) -> str:
+        return (f"pruned {self.removed} file(s), reclaimed "
+                f"{self.reclaimed_bytes} bytes ({self.kept} entries kept)")
+
+
+class ResultStore:
+    """Interface + shared policy for every store tier.
+
+    Subclasses implement the transport pair :meth:`read_entry` /
+    :meth:`write_entry`; everything above that — validation, hit/miss
+    accounting, the miss-on-corruption contract, cost recording — lives
+    here so every tier behaves identically.
+    """
+
+    #: tier label used in reports (``local`` for L1, ``shared`` for L2).
+    label = "store"
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    # -- transport (subclass responsibility) ------------------------------
+
+    def read_entry(self, fingerprint: str) -> Optional[dict]:
+        """The raw entry dict, ``None`` when absent; may raise on trouble."""
+        raise NotImplementedError
+
+    def write_entry(self, fingerprint: str, entry: dict) -> None:
+        """Store ``entry`` durably and atomically; may raise on trouble."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable location (path or URL) for log/CLI lines."""
+        return type(self).__name__
+
+    # -- shared policy -----------------------------------------------------
+
+    def read_valid(self, fingerprint: str) -> Optional[Tuple[dict, SimResult]]:
+        """The validated ``(entry, result)`` pair, counting hits/misses.
+
+        Any transport or validation failure is a logged miss, never an
+        error — the caller recomputes the cell.
+        """
+        data = None
+        try:
+            data = self.read_entry(fingerprint)
+        except _STORE_ERRORS as err:
+            logger.warning("ignoring unreadable cache entry %s in %s: %s",
+                           fingerprint[:12], self.describe(), err)
+        if data is not None:
+            try:
+                return data, validate_entry(fingerprint, data)
+            except _STORE_ERRORS as err:
+                logger.warning("ignoring unreadable cache entry %s in %s: %s",
+                               fingerprint[:12], self.describe(), err)
+        self.misses += 1
+        return None
+
+    def fetch(self, fingerprint: str) -> Optional[Fetched]:
+        """The cached result tagged with the tier that served it."""
+        valid = self.read_valid(fingerprint)
+        if valid is None:
+            return None
+        self.hits += 1
+        return Fetched(valid[1], self.label)
+
+    def get(self, fingerprint: str) -> Optional[SimResult]:
+        """The cached result for ``fingerprint``, or ``None`` on any miss."""
+        fetched = self.fetch(fingerprint)
+        return None if fetched is None else fetched.result
+
+    def put(self, fingerprint: str, spec: CellSpec, result: SimResult,
+            elapsed_s: float, backend: Optional[str] = None) -> None:
+        """Store ``result``; failures are logged, not raised.
+
+        ``backend`` records which kernel backend produced the entry —
+        pure provenance metadata: it never enters the fingerprint, and
+        reads ignore it, because backends are bit-identical.
+        """
+        self.submit_entry(fingerprint, entry_for(fingerprint, spec, result,
+                                                 elapsed_s, backend))
+
+    def submit_entry(self, fingerprint: str, entry: dict) -> None:
+        """Write a fresh entry + record its cost; failures are logged."""
+        try:
+            self.write_entry(fingerprint, entry)
+            self.record_cost(entry)
+        except _STORE_ERRORS as err:
+            logger.warning("could not write cache entry %s to %s: %s",
+                           fingerprint[:12], self.describe(), err)
+
+    def hydrate(self, fingerprint: str, entry: dict) -> None:
+        """Copy an already-validated entry into this tier (no cost record)."""
+        try:
+            self.write_entry(fingerprint, entry)
+        except _STORE_ERRORS as err:
+            logger.warning("could not hydrate cache entry %s into %s: %s",
+                           fingerprint[:12], self.describe(), err)
+
+    # -- optional services -------------------------------------------------
+
+    def record_cost(self, entry: dict) -> None:
+        """Fold one entry's ``elapsed_s`` into the cost history (if kept)."""
+
+    def cost_history(self) -> Dict[str, dict]:
+        """``benchmark/scheme -> {"total_s", "cells"}`` advisory history."""
+        return {}
+
+    def prune(self, remove_entries: bool = True) -> PruneReport:
+        """Remove droppings (and bad entries); no-op for remote tiers."""
+        return PruneReport()
+
+    def counter_lines(self) -> List[str]:
+        """One accounting line per tier, for the end of a CLI sweep."""
+        return [f"{self.label}: {self.hits} hits, {self.misses} misses "
+                f"({self.describe()})"]
+
+
+def _safe_hostname() -> str:
+    """The hostname with path-hostile characters squeezed out."""
+    try:
+        name = socket.gethostname()
+    except OSError:  # pragma: no cover - no hostname configured
+        name = "unknown-host"
+    return re.sub(r"[^A-Za-z0-9._-]", "-", name) or "unknown-host"
+
+
+#: per-process monotonic nonce for temporary file names.
+_TMP_NONCE = itertools.count()
+_HOSTNAME = _safe_hostname()
+
+
+class DirectoryStore(ResultStore):
+    """Entries as ``<fingerprint>.json`` files under one directory.
+
+    Used both as the local L1 (``.repro_cache/``) and, pointed at a
+    shared filesystem path, as a multi-host L2.  Writes are atomic and
+    collision-free across hosts: the temporary name embeds hostname,
+    PID and a per-process nonce, and a failed ``os.replace`` cleans the
+    temporary file up instead of leaving a dropping behind.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None,
+                 label: str = "local"):
+        super().__init__()
+        self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
+        self.label = label
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def read_entry(self, fingerprint: str) -> Optional[dict]:
+        try:
+            with open(self.path_for(fingerprint), "r",
+                      encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+
+    def write_entry(self, fingerprint: str, entry: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(fingerprint)
+        self._atomic_write(path, json.dumps(entry, separators=(",", ":")))
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        """Unique tmp + ``os.replace``; the tmp never survives a failure."""
+        tmp = path.with_name(
+            f"{path.name}.tmp-{_HOSTNAME}-{os.getpid()}-{next(_TMP_NONCE)}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- cost history ------------------------------------------------------
+
+    def _costs_path(self) -> Path:
+        return self.root / _COSTS_NAME
+
+    def record_cost(self, entry: dict) -> None:
+        key = cost_key(entry)
+        elapsed = entry.get("elapsed_s")
+        if key is None or not isinstance(elapsed, (int, float)):
+            return
+        costs = self.cost_history()
+        bucket = costs.setdefault(key, {"total_s": 0.0, "cells": 0})
+        bucket["total_s"] = round(bucket["total_s"] + float(elapsed), 4)
+        bucket["cells"] += 1
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(self._costs_path(),
+                               json.dumps(costs, sort_keys=True,
+                                          separators=(",", ":")))
+        except OSError as err:  # advisory only — never fail the sweep
+            logger.debug("could not update cost history in %s: %s",
+                         self.root, err)
+
+    def cost_history(self) -> Dict[str, dict]:
+        try:
+            with open(self._costs_path(), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except _STORE_ERRORS:
+            return {}
+        if not isinstance(data, dict):
+            return {}
+        history: Dict[str, dict] = {}
+        for key, bucket in data.items():
+            if (isinstance(bucket, dict)
+                    and isinstance(bucket.get("total_s"), (int, float))
+                    and isinstance(bucket.get("cells"), int)
+                    and bucket["cells"] > 0):
+                history[key] = {"total_s": float(bucket["total_s"]),
+                                "cells": bucket["cells"]}
+        return history
+
+    # -- maintenance -------------------------------------------------------
+
+    def _entry_paths(self) -> List[Path]:
+        try:
+            paths = list(self.root.glob("*.json"))
+        except OSError:  # pragma: no cover - disk trouble
+            return []
+        return [p for p in paths if _FINGERPRINT_RE.match(p.stem)]
+
+    def __len__(self) -> int:
+        return len(self._entry_paths())
+
+    def prune(self, remove_entries: bool = True) -> PruneReport:
+        """Delete tmp droppings and (optionally) unreadable entries.
+
+        Droppings are ``*.json.tmp*`` files left by a killed writer;
+        with ``remove_entries`` every entry that would read as a miss
+        (corrupt, truncated, schema-mismatched, wrong fingerprint) is
+        removed too.  Returns what was reclaimed.  Not safe to run
+        concurrently with an *active* writer on the same root — a live
+        temporary file is indistinguishable from a stale one.
+        """
+        report = PruneReport()
+        try:
+            droppings = sorted(self.root.glob("*.json.tmp*"))
+        except OSError:  # pragma: no cover - disk trouble
+            droppings = []
+        for path in droppings:
+            report.removed += 1
+            report.reclaimed_bytes += self._unlink_size(path)
+        for path in sorted(self._entry_paths()):
+            bad = False
+            if remove_entries:
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        validate_entry(path.stem, json.load(handle))
+                except _STORE_ERRORS:
+                    bad = True
+            if bad:
+                report.removed += 1
+                report.reclaimed_bytes += self._unlink_size(path)
+            else:
+                report.kept += 1
+        return report
+
+    @staticmethod
+    def _unlink_size(path: Path) -> int:
+        try:
+            size = path.stat().st_size
+            path.unlink()
+            return size
+        except OSError:  # pragma: no cover - raced or unreadable
+            return 0
+
+
+class HttpStore(ResultStore):
+    """Client half of the stdlib HTTP store pair (L2 over the network).
+
+    Talks to the ``python -m repro store-serve`` coordinator:
+    ``GET /cells/<fingerprint>`` (200 entry JSON / 404 miss),
+    ``PUT /cells/<fingerprint>`` (entry JSON body), ``GET /costs``
+    (advisory cost history).  Every network failure follows the store
+    contract: logged miss on read, logged drop on write.
+    """
+
+    label = "shared"
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        super().__init__()
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def describe(self) -> str:
+        return self.base_url
+
+    def _cell_url(self, fingerprint: str) -> str:
+        return f"{self.base_url}/cells/{fingerprint}"
+
+    def read_entry(self, fingerprint: str) -> Optional[dict]:
+        try:
+            with urlrequest.urlopen(self._cell_url(fingerprint),
+                                    timeout=self.timeout) as response:
+                return json.load(response)
+        except urlerror.HTTPError as err:
+            if err.code == 404:
+                return None
+            raise
+
+    def write_entry(self, fingerprint: str, entry: dict) -> None:
+        body = json.dumps(entry, separators=(",", ":")).encode("utf-8")
+        req = urlrequest.Request(self._cell_url(fingerprint), data=body,
+                                 method="PUT",
+                                 headers={"Content-Type": "application/json"})
+        with urlrequest.urlopen(req, timeout=self.timeout):
+            pass
+
+    def cost_history(self) -> Dict[str, dict]:
+        try:
+            with urlrequest.urlopen(f"{self.base_url}/costs",
+                                    timeout=self.timeout) as response:
+                data = json.load(response)
+        except _STORE_ERRORS:
+            return {}
+        return data if isinstance(data, dict) else {}
+
+
+class TieredStore(ResultStore):
+    """Read-through / write-back pair: local L1 + shared L2.
+
+    * ``fetch``: L1 first; an L2 hit is hydrated into L1 (so repeat
+      sweeps on this host stay local) and reported with tier
+      ``shared``.
+    * ``put``: written to both tiers, so every host pooling the L2
+      sees fresh results.
+    * cost history: merged, shared first, so a brand-new host inherits
+      the pool's timings for scheduling.
+    """
+
+    label = "tiered"
+
+    def __init__(self, local: DirectoryStore, shared: ResultStore):
+        super().__init__()
+        self.local = local
+        self.shared = shared
+
+    def describe(self) -> str:
+        return f"{self.local.describe()} + {self.shared.describe()}"
+
+    def fetch(self, fingerprint: str) -> Optional[Fetched]:
+        fetched = self.local.fetch(fingerprint)
+        if fetched is not None:
+            self.hits += 1
+            return fetched
+        valid = self.shared.read_valid(fingerprint)
+        if valid is None:
+            self.misses += 1
+            return None
+        self.shared.hits += 1
+        entry, result = valid
+        self.local.hydrate(fingerprint, entry)
+        self.hits += 1
+        return Fetched(result, self.shared.label)
+
+    def get(self, fingerprint: str) -> Optional[SimResult]:
+        fetched = self.fetch(fingerprint)
+        return None if fetched is None else fetched.result
+
+    def put(self, fingerprint: str, spec: CellSpec, result: SimResult,
+            elapsed_s: float, backend: Optional[str] = None) -> None:
+        entry = entry_for(fingerprint, spec, result, elapsed_s, backend)
+        self.local.submit_entry(fingerprint, entry)
+        self.shared.submit_entry(fingerprint, entry)
+
+    def cost_history(self) -> Dict[str, dict]:
+        merged = dict(self.shared.cost_history())
+        for key, bucket in self.local.cost_history().items():
+            if key in merged:
+                merged[key] = {
+                    "total_s": merged[key]["total_s"] + bucket["total_s"],
+                    "cells": merged[key]["cells"] + bucket["cells"],
+                }
+            else:
+                merged[key] = bucket
+        return merged
+
+    def prune(self, remove_entries: bool = True) -> PruneReport:
+        return self.local.prune(remove_entries).merge(
+            self.shared.prune(remove_entries))
+
+    def counter_lines(self) -> List[str]:
+        return self.local.counter_lines() + self.shared.counter_lines()
+
+
+def open_store(spec: str, label: str = "shared") -> ResultStore:
+    """A store from a ``--store`` / ``REPRO_STORE`` spec.
+
+    ``http(s)://...`` opens an :class:`HttpStore` client; anything else
+    is a filesystem path (typically on a shared mount) opened as a
+    :class:`DirectoryStore`.
+    """
+    if spec.startswith("http://") or spec.startswith("https://"):
+        return HttpStore(spec)
+    return DirectoryStore(spec, label=label)
+
+
+def build_store(cache_dir: Union[str, Path, None] = None,
+                store_spec: Optional[str] = None) -> ResultStore:
+    """The sweep's store: local L1, tiered with a shared L2 when given."""
+    local = DirectoryStore(cache_dir)
+    if not store_spec:
+        return local
+    return TieredStore(local, open_store(store_spec))
+
+
+# --------------------------------------------------------------------------
+# the coordinator: ``python -m repro store-serve``
+# --------------------------------------------------------------------------
+
+class _StoreHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one server's :class:`DirectoryStore`."""
+
+    server_version = "repro-store/1"
+    protocol_version = "HTTP/1.1"
+    #: upper bound on an entry body; a cell entry is a few tens of KB.
+    max_body_bytes = 16 * 1024 * 1024
+
+    def _store(self) -> DirectoryStore:
+        return self.server.store  # type: ignore[attr-defined]
+
+    def _send_json(self, code: int, payload: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_empty(self, code: int, message: str = "") -> None:
+        body = message.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "text/plain")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _fingerprint_of(self) -> Optional[str]:
+        parts = self.path.strip("/").split("/")
+        if len(parts) == 2 and parts[0] == "cells" \
+                and _FINGERPRINT_RE.match(parts[1]):
+            return parts[1]
+        return None
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        store = self._store()
+        if self.path.rstrip("/") in ("", "/"):
+            status = {"store": "repro", "schema": CACHE_SCHEMA_VERSION,
+                      "entries": len(store)}
+            self._send_json(200, json.dumps(status).encode("utf-8"))
+            return
+        if self.path.rstrip("/") == "/costs":
+            payload = json.dumps(store.cost_history(), sort_keys=True)
+            self._send_json(200, payload.encode("utf-8"))
+            return
+        fingerprint = self._fingerprint_of()
+        if fingerprint is None:
+            self._send_empty(404, "unknown path")
+            return
+        try:
+            with open(store.path_for(fingerprint), "rb") as handle:
+                payload = handle.read()
+        except FileNotFoundError:
+            self._send_empty(404, "no such cell")
+            return
+        except OSError:
+            self._send_empty(500, "unreadable entry")
+            return
+        self._send_json(200, payload)
+
+    def do_PUT(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        fingerprint = self._fingerprint_of()
+        if fingerprint is None:
+            self._send_empty(404, "unknown path")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._send_empty(411, "length required")
+            return
+        if not 0 < length <= self.max_body_bytes:
+            self._send_empty(413, "entry too large")
+            return
+        body = self.rfile.read(length)
+        store = self._store()
+        try:
+            entry = json.loads(body.decode("utf-8"))
+            validate_entry(fingerprint, entry)
+            store.write_entry(fingerprint, entry)
+            store.record_cost(entry)
+        except _STORE_ERRORS as err:
+            self._send_empty(400, f"rejected entry: {err}")
+            return
+        self._send_empty(204)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("store-serve %s %s", self.address_string(),
+                     format % args)
+
+
+def make_store_server(root: Union[str, Path],
+                      host: str = "127.0.0.1",
+                      port: int = 8737) -> ThreadingHTTPServer:
+    """A ready-to-run coordinator over ``root`` (call ``serve_forever``).
+
+    ``port=0`` binds an ephemeral port (useful in tests); the bound
+    address is ``server.server_address``.  The server validates every
+    ``PUT`` before storing it, so one misbehaving client cannot poison
+    the pool — and the on-disk layout is exactly a
+    :class:`DirectoryStore`, so the same root can simultaneously be
+    mounted and used as a filesystem store.
+    """
+    server = ThreadingHTTPServer((host, port), _StoreHandler)
+    server.daemon_threads = True
+    server.store = DirectoryStore(root, label="served")  # type: ignore[attr-defined]
+    return server

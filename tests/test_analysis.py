@@ -116,3 +116,120 @@ class TestExperimentRegistry:
         text = experiment_index_markdown()
         assert "Figure 3" in text
         assert "| Key |" in text
+
+
+# --------------------------------------------------------------------------
+# the perf trajectory and its ratchet
+# --------------------------------------------------------------------------
+
+class TestPerfTrajectory:
+    #: tiny measurement geometry so ratchet tests run in milliseconds
+    CELLS = {"chash/gzip": {"instructions": 400, "warmup": 300}}
+
+    def test_host_fingerprint_is_short_and_stable(self):
+        from repro.analysis import host_fingerprint
+        first = host_fingerprint()
+        assert first == host_fingerprint()
+        assert len(first) == 12
+        assert all(c in "0123456789abcdef" for c in first)
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        from repro.analysis import append_trajectory_row, load_trajectory
+        path = str(tmp_path / "traj.json")
+        row = append_trajectory_row(
+            path, {"chash/gzip": {"instructions": 400, "warmup": 300,
+                                  "seconds": 0.5}},
+            backend="fallback", host="aaaa", git_sha="sha1")
+        assert row["backend"] == "fallback"
+        rows = load_trajectory(path)
+        assert len(rows) == 1
+        assert rows[0]["cells"]["chash/gzip"]["seconds"] == 0.5
+        append_trajectory_row(path, {}, backend="numpy", host="bbbb")
+        assert len(load_trajectory(path)) == 2
+
+    def test_unreadable_trajectory_is_empty(self, tmp_path):
+        from repro.analysis import load_trajectory
+        assert load_trajectory(str(tmp_path / "missing.json")) == []
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        assert load_trajectory(str(bad)) == []
+
+    def test_baseline_filters_host_backend_and_geometry(self):
+        from repro.analysis import trajectory_baseline
+        cells = {"chash/gzip": {"instructions": 400, "warmup": 300}}
+        mk = lambda host, backend, seconds, instructions=400: {
+            "host": host, "backend": backend,
+            "cells": {"chash/gzip": {"instructions": instructions,
+                                     "warmup": 300, "seconds": seconds}}}
+        rows = [
+            mk("me", "numpy", 2.0),
+            mk("me", "numpy", 1.0),           # the best matching row
+            mk("me", "numpy", 0.1, 800),      # wrong geometry: ignored
+            mk("me", "fallback", 0.2),        # wrong backend: ignored
+            mk("other", "numpy", 0.3),        # wrong host: ignored
+        ]
+        best = trajectory_baseline(rows, "me", "numpy", cells)
+        assert best == {"chash/gzip": 1.0}
+        assert trajectory_baseline(rows, "nobody", "numpy", cells) == {}
+
+    def test_ratchet_seeds_a_fresh_trajectory(self, tmp_path):
+        from repro.analysis import load_trajectory, ratchet_bench
+        path = str(tmp_path / "traj.json")
+        lines, ok = ratchet_bench(path, cells=self.CELLS, repeats=1)
+        assert ok
+        text = "\n".join(lines)
+        assert "new baseline" in text
+        assert "PASS" in text
+        rows = load_trajectory(path)
+        assert len(rows) == 1
+        assert rows[0]["cells"]["chash/gzip"]["seconds"] > 0
+
+    def test_ratchet_passes_against_a_slow_floor(self, tmp_path):
+        from repro.analysis import (append_trajectory_row, host_fingerprint,
+                                    load_trajectory, ratchet_bench)
+        from repro.kernels import resolve_kernels
+        path = str(tmp_path / "traj.json")
+        append_trajectory_row(
+            path, {"chash/gzip": {"instructions": 400, "warmup": 300,
+                                  "seconds": 1000.0}},
+            backend=resolve_kernels(None), host=host_fingerprint())
+        lines, ok = ratchet_bench(path, cells=self.CELLS, repeats=1)
+        assert ok
+        assert "improved" in "\n".join(lines)
+        # the run appended its own (much faster) row: the new floor
+        assert len(load_trajectory(path)) == 2
+
+    def test_ratchet_fails_on_regression(self, tmp_path):
+        from repro.analysis import (append_trajectory_row, host_fingerprint,
+                                    ratchet_bench)
+        from repro.kernels import resolve_kernels
+        path = str(tmp_path / "traj.json")
+        append_trajectory_row(
+            path, {"chash/gzip": {"instructions": 400, "warmup": 300,
+                                  "seconds": 1e-9}},
+            backend=resolve_kernels(None), host=host_fingerprint())
+        lines, ok = ratchet_bench(path, cells=self.CELLS, repeats=1)
+        assert not ok
+        text = "\n".join(lines)
+        assert "REGRESSION" in text
+        assert "FAIL" in text
+
+    def test_ratchet_record_false_leaves_file_alone(self, tmp_path):
+        from repro.analysis import load_trajectory, ratchet_bench
+        path = str(tmp_path / "traj.json")
+        _lines, ok = ratchet_bench(path, cells=self.CELLS, repeats=1,
+                                   record=False)
+        assert ok
+        assert load_trajectory(path) == []
+
+    def test_other_hosts_rows_are_kept_not_compared(self, tmp_path):
+        from repro.analysis import append_trajectory_row, ratchet_bench
+        path = str(tmp_path / "traj.json")
+        # a blazing row from a different machine class must not gate us
+        append_trajectory_row(
+            path, {"chash/gzip": {"instructions": 400, "warmup": 300,
+                                  "seconds": 1e-9}},
+            backend="numpy", host="somewhere-else")
+        lines, ok = ratchet_bench(path, cells=self.CELLS, repeats=1)
+        assert ok
+        assert "new baseline" in "\n".join(lines)

@@ -36,6 +36,27 @@ class TestCLI:
         for scheme in ("base", "chash", "naive", "mhash", "ihash"):
             assert scheme in out
 
+    def test_bench_ratchet(self, capsys, tmp_path, monkeypatch):
+        # shrink the ratchet cells so the gate runs in milliseconds; the
+        # geometry travels inside each row, so nothing real is disturbed
+        import repro.analysis.perf as perf
+        monkeypatch.setattr(perf, "RATCHET_CELLS",
+                            {"chash/gzip": {"instructions": 400,
+                                            "warmup": 300}})
+        trajectory = tmp_path / "traj.json"
+        argv = ["bench", "--ratchet", "--trajectory", str(trajectory)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "perf ratchet" in out
+        assert "new baseline" in out
+        assert "PASS" in out
+        assert trajectory.exists()
+        # second run gates against (and extends) the committed row; the
+        # huge tolerance keeps millisecond-cell timing noise from flaking
+        assert main(argv + ["--tolerance", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "new baseline" not in out
+
     def test_rejects_unknown_benchmark(self):
         with pytest.raises(SystemExit):
             main(["bench", "linpack"])

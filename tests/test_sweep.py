@@ -7,6 +7,9 @@ cache write, warm run, parallel fan-out — on every pytest invocation.
 
 import dataclasses
 import json
+import multiprocessing
+import os
+import threading
 
 import pytest
 
@@ -15,7 +18,12 @@ from repro.sim.sweep import (
     CACHE_SCHEMA_VERSION,
     CELL_PARAMS,
     CellSpec,
+    CostModel,
+    DirectoryStore,
     DiskCellCache,
+    HttpStore,
+    TieredStore,
+    WorkQueue,
     cell_fingerprint,
     cell_param_defaults,
     config_from_dict,
@@ -23,6 +31,9 @@ from repro.sim.sweep import (
     execute_cell,
     execute_group,
     figure_cells,
+    make_store_server,
+    open_store,
+    resolve_jobs,
     result_from_dict,
     result_to_dict,
     results_grid,
@@ -30,6 +41,7 @@ from repro.sim.sweep import (
     warm_fingerprint,
 )
 from repro.sim.sweep.runner import _balance_groups
+from repro.sim.sweep.store import entry_for
 
 # small enough that a cell takes tens of milliseconds
 TINY = dict(instructions=400, warmup=300)
@@ -483,3 +495,461 @@ class TestCli:
         out = capsys.readouterr().out
         assert "3 run, 0 cached" in out
         assert "shared group" not in out
+
+
+# --------------------------------------------------------------------------
+# the tiered store — local L1, shared L2
+# --------------------------------------------------------------------------
+
+def tiered(tmp_path):
+    """A fresh TieredStore with distinct local and shared directories."""
+    local = DirectoryStore(tmp_path / "local")
+    shared = DirectoryStore(tmp_path / "shared", label="shared")
+    return TieredStore(local, shared)
+
+
+class TestTieredStore:
+    def test_put_writes_both_tiers(self, tmp_path):
+        store = tiered(tmp_path)
+        spec = tiny()
+        store.put(cell_fingerprint(spec), spec, execute_cell(spec), 0.05)
+        assert len(store.local) == 1
+        assert len(store.shared) == 1
+
+    def test_l2_hit_hydrates_l1(self, tmp_path):
+        store = tiered(tmp_path)
+        spec = tiny()
+        fingerprint = cell_fingerprint(spec)
+        result = execute_cell(spec)
+        # populate only the shared tier, as another host would have
+        store.shared.put(fingerprint, spec, result, 0.05)
+        assert len(store.local) == 0
+        fetched = store.fetch(fingerprint)
+        assert fetched.tier == "shared"
+        assert_same_result(fetched.result, result)
+        # the hit was hydrated: the next fetch never leaves this host
+        assert len(store.local) == 1
+        assert store.fetch(fingerprint).tier == "local"
+
+    def test_corrupt_shared_entry_degrades_to_miss(self, tmp_path, caplog):
+        store = tiered(tmp_path)
+        fingerprint = cell_fingerprint(tiny())
+        store.shared.root.mkdir(parents=True)
+        store.shared.path_for(fingerprint).write_text("{not json at all")
+        with caplog.at_level("WARNING"):
+            assert store.get(fingerprint) is None
+        assert "unreadable cache entry" in caplog.text
+        assert store.misses == 1
+        assert len(store.local) == 0  # nothing bad was hydrated
+
+    def test_truncated_shared_entry_degrades_to_miss(self, tmp_path):
+        store = tiered(tmp_path)
+        spec = tiny()
+        fingerprint = cell_fingerprint(spec)
+        store.shared.put(fingerprint, spec, execute_cell(spec), 0.0)
+        path = store.shared.path_for(fingerprint)
+        path.write_text(path.read_text()[: 40])
+        assert store.get(fingerprint) is None
+        assert len(store.local) == 0
+
+    def test_schema_mismatched_shared_entry_degrades_to_miss(self, tmp_path):
+        store = tiered(tmp_path)
+        spec = tiny()
+        fingerprint = cell_fingerprint(spec)
+        store.shared.put(fingerprint, spec, execute_cell(spec), 0.0)
+        path = store.shared.path_for(fingerprint)
+        entry = json.loads(path.read_text())
+        entry["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert store.get(fingerprint) is None
+
+    def test_second_sweep_against_populated_shared_runs_nothing(self,
+                                                                tmp_path):
+        cells = TestRunner.CELLS
+        # host A populates the shared store...
+        host_a = tiered(tmp_path / "a")
+        shared_root = host_a.shared.root
+        cold = run_cells(cells, cache=host_a)
+        assert len(cold.ran) == 3
+        # ...host B (cold local cache, same shared store) runs zero cells
+        host_b = TieredStore(DirectoryStore(tmp_path / "b-local"),
+                             DirectoryStore(shared_root, label="shared"))
+        warm = run_cells(cells, cache=host_b)
+        assert not warm.ran and len(warm.cached) == 3
+        assert warm.cached_by_tier() == {"shared": 3}
+        for spec in cold.results:
+            assert_same_result(warm.results[spec], cold.results[spec])
+        # every hit was hydrated into B's local tier...
+        assert len(host_b.local) == 3
+        # ...so a third sweep is pure L1
+        third = run_cells(cells, cache=host_b)
+        assert third.cached_by_tier() == {"local": 3}
+
+    def test_bit_identity_across_tiers_and_jobs(self, tmp_path):
+        cells = TestRunner.CELLS + TestWarmSharing.TIMING_CELLS
+        baseline = run_cells(cells, jobs=1,
+                             cache=DiskCellCache(tmp_path / "plain"))
+        stolen = run_cells(cells, jobs=4, cache=tiered(tmp_path))
+        assert baseline.results.keys() == stolen.results.keys()
+        for spec in baseline.results:
+            assert_same_result(stolen.results[spec], baseline.results[spec])
+
+    def test_summary_reports_tier_split(self, tmp_path):
+        store = tiered(tmp_path)
+        spec = tiny()
+        store.shared.put(cell_fingerprint(spec), spec, execute_cell(spec),
+                         0.05)
+        report = run_cells([spec, tiny(seed=9)], cache=store)
+        summary = report.summary()
+        assert "0 local (L1) hits" in summary
+        assert "1 shared (L2) hits" in summary
+        assert "1 misses" in summary
+
+    def test_cost_history_merges_tiers(self, tmp_path):
+        store = tiered(tmp_path)
+        spec = tiny()
+        store.put(cell_fingerprint(spec), spec, execute_cell(spec), 2.0)
+        merged = store.cost_history()
+        # the same cell was costed in both tiers; the merge sums them
+        assert merged["gzip/chash"]["cells"] == 2
+        assert merged["gzip/chash"]["total_s"] == pytest.approx(4.0)
+
+    def test_open_store_picks_transport(self, tmp_path):
+        assert isinstance(open_store(str(tmp_path)), DirectoryStore)
+        assert isinstance(open_store("http://127.0.0.1:1"), HttpStore)
+        assert isinstance(open_store("https://example.test/x"), HttpStore)
+
+
+# --------------------------------------------------------------------------
+# concurrent writers and failure cleanup
+# --------------------------------------------------------------------------
+
+def _hammer_store(root, fingerprint, entry, start, rounds=25):
+    """Child-process body: race ``rounds`` writes of the same entry."""
+    store = DirectoryStore(root)
+    start.wait(timeout=10)
+    for _ in range(rounds):
+        store.write_entry(fingerprint, entry)
+
+
+class TestConcurrentWriters:
+    def test_racing_puts_leave_a_valid_entry(self, tmp_path):
+        spec = tiny()
+        fingerprint = cell_fingerprint(spec)
+        result = execute_cell(spec)
+        entry = entry_for(fingerprint, spec, result, 0.05)
+        context = multiprocessing.get_context("fork")
+        start = context.Event()
+        writers = [
+            context.Process(target=_hammer_store,
+                            args=(tmp_path, fingerprint, entry, start))
+            for _ in range(2)
+        ]
+        for writer in writers:
+            writer.start()
+        start.set()
+        for writer in writers:
+            writer.join(timeout=60)
+            assert writer.exitcode == 0
+        # both writers survived and a reader sees one valid entry...
+        store = DirectoryStore(tmp_path)
+        assert_same_result(store.get(fingerprint), result)
+        assert len(store) == 1
+        # ...with no half-written temporary droppings left behind
+        assert list(tmp_path.glob("*.tmp*")) == []
+
+    def test_failed_replace_cleans_up_tmp(self, tmp_path, monkeypatch,
+                                          caplog):
+        store = DirectoryStore(tmp_path)
+        spec = tiny()
+
+        def refuse(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", refuse)
+        with caplog.at_level("WARNING"):
+            store.put(cell_fingerprint(spec), spec, execute_cell(spec), 0.0)
+        assert "could not write cache entry" in caplog.text
+        monkeypatch.undo()
+        # neither the entry nor its temporary file exists afterwards
+        assert list(tmp_path.iterdir()) == []
+
+    def test_tmp_names_are_unique_per_write(self, tmp_path, monkeypatch):
+        store = DirectoryStore(tmp_path)
+        seen = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen.append(str(src))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        spec = tiny()
+        result = execute_cell(spec)
+        for _ in range(3):
+            store.put(cell_fingerprint(spec), spec, result, 0.0)
+        tmp_names = [name for name in seen if ".tmp-" in name]
+        assert len(tmp_names) >= 3
+        assert len(set(tmp_names)) == len(tmp_names)
+
+
+# --------------------------------------------------------------------------
+# pruning
+# --------------------------------------------------------------------------
+
+class TestPrune:
+    def _populate(self, root):
+        store = DirectoryStore(root)
+        spec = tiny()
+        store.put(cell_fingerprint(spec), spec, execute_cell(spec), 0.0)
+        # a dropping from a killed writer, and a corrupt entry
+        (root / ("e" * 64 + ".json.tmp-deadhost-1-0")).write_text("partial")
+        (root / ("f" * 64 + ".json")).write_text("{broken")
+        return store
+
+    def test_prune_removes_droppings_and_bad_entries(self, tmp_path):
+        store = self._populate(tmp_path)
+        report = store.prune()
+        assert report.removed == 2
+        assert report.kept == 1
+        assert report.reclaimed_bytes > 0
+        assert "pruned 2 file(s)" in report.summary()
+        # the good entry survived and still reads back
+        assert len(store) == 1
+        assert store.get(cell_fingerprint(tiny())) is not None
+
+    def test_tmp_only_prune_keeps_bad_entries(self, tmp_path):
+        store = self._populate(tmp_path)
+        report = store.prune(remove_entries=False)
+        assert report.removed == 1  # just the dropping
+        assert (tmp_path / ("f" * 64 + ".json")).exists()
+        assert not list(tmp_path.glob("*.tmp*"))
+        assert report.kept == 2
+
+    def test_costs_sidecar_is_not_an_entry(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        spec = tiny()
+        store.put(cell_fingerprint(spec), spec, execute_cell(spec), 1.5)
+        assert (tmp_path / "_costs.json").exists()
+        # the sidecar is neither counted nor pruned
+        assert len(store) == 1
+        store.prune()
+        assert (tmp_path / "_costs.json").exists()
+
+
+# --------------------------------------------------------------------------
+# the HTTP store pair — stdlib coordinator + client
+# --------------------------------------------------------------------------
+
+@pytest.fixture()
+def store_server(tmp_path):
+    server = make_store_server(tmp_path / "served", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+class TestHttpStore:
+    def test_roundtrip_and_miss(self, store_server):
+        client = HttpStore(store_server)
+        spec = tiny()
+        fingerprint = cell_fingerprint(spec)
+        assert client.get(fingerprint) is None
+        assert client.misses == 1
+        result = execute_cell(spec)
+        client.put(fingerprint, spec, result, 0.05)
+        assert_same_result(client.get(fingerprint), result)
+        assert client.hits == 1
+
+    def test_tiered_sweep_over_http(self, tmp_path, store_server):
+        cells = TestRunner.CELLS
+        host_a = TieredStore(DirectoryStore(tmp_path / "a"),
+                             HttpStore(store_server))
+        cold = run_cells(cells, cache=host_a)
+        assert len(cold.ran) == 3
+        host_b = TieredStore(DirectoryStore(tmp_path / "b"),
+                             HttpStore(store_server))
+        warm = run_cells(cells, cache=host_b)
+        assert not warm.ran and warm.cached_by_tier() == {"shared": 3}
+        for spec in cold.results:
+            assert_same_result(warm.results[spec], cold.results[spec])
+
+    def test_server_rejects_invalid_put(self, store_server, caplog):
+        client = HttpStore(store_server)
+        fingerprint = cell_fingerprint(tiny())
+        bad = {"schema": CACHE_SCHEMA_VERSION + 1, "fingerprint": fingerprint}
+        with caplog.at_level("WARNING"):
+            client.submit_entry(fingerprint, bad)  # logged, never raised
+        assert "could not write cache entry" in caplog.text
+        assert client.get(fingerprint) is None  # nothing was poisoned
+
+    def test_cost_history_over_http(self, store_server):
+        client = HttpStore(store_server)
+        spec = tiny()
+        client.put(cell_fingerprint(spec), spec, execute_cell(spec), 2.5)
+        history = client.cost_history()
+        assert history["gzip/chash"]["cells"] == 1
+        assert history["gzip/chash"]["total_s"] == pytest.approx(2.5)
+
+    def test_unreachable_server_is_a_miss(self, caplog):
+        client = HttpStore("http://127.0.0.1:9", timeout=0.5)
+        spec = tiny()
+        with caplog.at_level("WARNING"):
+            assert client.get(cell_fingerprint(spec)) is None
+        assert client.misses == 1
+        assert "unreadable cache entry" in caplog.text
+        # writes degrade the same way: logged, not raised
+        client.put(cell_fingerprint(spec), spec, execute_cell(spec), 0.0)
+
+
+# --------------------------------------------------------------------------
+# cost model + work-stealing queue
+# --------------------------------------------------------------------------
+
+class TestSchedule:
+    HISTORY = {
+        "gzip/chash": {"total_s": 4.0, "cells": 2},    # 2.0 s/cell
+        "twolf/chash": {"total_s": 12.0, "cells": 2},  # 6.0 s/cell
+    }
+
+    def test_cost_model_averages_history(self):
+        model = CostModel(self.HISTORY)
+        assert model.cell_cost(tiny()) == pytest.approx(2.0)
+        assert model.cell_cost(tiny("twolf")) == pytest.approx(6.0)
+        # unseen families get the global mean, in this machine's units
+        assert model.cell_cost(tiny("mcf")) == pytest.approx(4.0)
+
+    def test_cost_model_without_history_is_uniform(self):
+        model = CostModel()
+        assert model.cell_cost(tiny()) == model.cell_cost(tiny("twolf"))
+
+    def test_cost_model_from_store_after_a_sweep(self, tmp_path):
+        cache = DiskCellCache(tmp_path)
+        run_cells(TestRunner.CELLS, cache=cache)
+        model = CostModel.from_store(cache)
+        assert "gzip/base" in model.history
+        assert "gzip/chash" in model.history
+        assert all(cost > 0 for cost in model.history.values())
+
+    def test_queue_dispatches_costliest_group_first(self):
+        cheap, costly = [tiny()], [tiny("twolf")]
+        queue = WorkQueue([cheap, costly], CostModel(self.HISTORY))
+        assert queue.take(1) == costly
+        assert queue.take(1) == cheap
+        assert queue.take(1) is None
+        assert queue.dispatched == 2 and queue.splits == 0
+
+    def test_queue_splits_to_feed_idle_workers(self):
+        cells = TestWarmSharing.TIMING_CELLS
+        queue = WorkQueue([list(cells)])
+        first = queue.take(4)  # 4 idle workers, 1 group: must split
+        assert queue.splits >= 1
+        dispatched = list(first)
+        while True:
+            group = queue.take(4)
+            if group is None:
+                break
+            dispatched.extend(group)
+        # splits shuffle grouping, never membership
+        assert sorted(dispatched, key=str) == sorted(cells, key=str)
+
+    def test_queue_never_splits_singletons(self):
+        queue = WorkQueue([[tiny()], [tiny(seed=1)]])
+        assert queue.take(8) is not None
+        assert queue.take(8) is not None
+        assert queue.take(8) is None
+        assert queue.splits == 0
+
+    def test_queue_dispatch_is_deterministic(self):
+        def labels():
+            queue = WorkQueue([list(TestWarmSharing.TIMING_CELLS),
+                               [tiny(seed=9)], [tiny("twolf")]],
+                              CostModel(self.HISTORY))
+            sequence = []
+            while True:
+                group = queue.take(3)
+                if group is None:
+                    return sequence
+                sequence.append([spec.label() for spec in group])
+        assert labels() == labels()
+
+    def test_sweep_reports_steals(self, tmp_path):
+        report = run_cells(TestWarmSharing.TIMING_CELLS, jobs=4,
+                           cache=DiskCellCache(tmp_path))
+        assert report.steals >= 1
+        assert "work stealing" in report.summary()
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(-3) == 1
+        assert run_cells([tiny()], jobs=0).jobs == (os.cpu_count() or 1)
+
+
+# --------------------------------------------------------------------------
+# CLI: stores, pruning, auto jobs
+# --------------------------------------------------------------------------
+
+class TestCliStore:
+    def test_sweep_store_flag_pools_hosts(self, tmp_path, capsys):
+        from repro.__main__ import main
+        shared = tmp_path / "pool"
+        base = ["sweep", "--figure", "fig5", "--benchmarks", "gzip",
+                "--instructions", "400", "--store", str(shared)]
+        assert main(base + ["--cache-dir", str(tmp_path / "a")]) == 0
+        out = capsys.readouterr().out
+        assert "3 run, 0 cached" in out
+        # a second host (cold local cache) is satisfied entirely by L2
+        assert main(base + ["--cache-dir", str(tmp_path / "b")]) == 0
+        out = capsys.readouterr().out
+        assert "0 run, 3 cached" in out
+        assert "3 shared (L2) hits" in out
+        assert "[cached L2 shared]" in out
+
+    def test_sweep_reads_store_env(self, tmp_path, capsys, monkeypatch):
+        from repro.__main__ import main
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "pool"))
+        argv = ["sweep", "--figure", "fig5", "--benchmarks", "gzip",
+                "--instructions", "400", "--cache-dir", str(tmp_path / "a")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path / "pool") in out  # the store counters name it
+
+    def test_sweep_jobs_zero_means_auto(self, tmp_path, capsys):
+        from repro.__main__ import main
+        argv = ["sweep", "--figure", "fig5", "--benchmarks", "gzip",
+                "--instructions", "400", "--cache-dir", str(tmp_path),
+                "--jobs", "0"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"({os.cpu_count() or 1} jobs)" in out
+
+    def test_sweep_prune_tmp_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / ("e" * 64 + ".json.tmp-deadhost-1-0")).write_text("junk")
+        argv = ["sweep", "--figure", "fig5", "--benchmarks", "gzip",
+                "--instructions", "400", "--cache-dir", str(cache_dir),
+                "--prune-tmp"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 tmp dropping(s)" in out
+        assert not list(cache_dir.glob("*.tmp*"))
+
+    def test_cache_prune_command(self, tmp_path, capsys):
+        from repro.__main__ import main
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / ("e" * 64 + ".json.tmp-deadhost-1-0")).write_text("junk")
+        (cache_dir / ("f" * 64 + ".json")).write_text("{broken")
+        assert main(["cache", "prune", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 file(s)" in out
+        assert not list(cache_dir.iterdir())
