@@ -1,0 +1,176 @@
+"""Opt-in perf measurement of the distributed dispatch path: ``REPRO_PERF=1``.
+
+Times the two transport levers this PR adds and the dispatch loop they
+feed, all on loopback (so numbers isolate protocol cost, not network):
+
+* **keep-alive** — N store round trips over one persistent per-thread
+  connection vs tearing the connection down after every request (the
+  historical one-``urllib``-socket-per-request behavior);
+* **gzip entries** — bytes on the wire for a figure-sized batch of cell
+  entries, compressed vs identity;
+* **distributed sweep** — a small grid through the full coordinator +
+  worker loop vs the same grid run locally, asserting bit-identity (the
+  property that makes distribution legitimate at all).
+
+Writes ``BENCH_dispatch.json``.  Like the other perf smokes this only
+*records* — wall-clock thresholds are too machine-dependent to assert —
+but the bit-identity assertions always run.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.common import SchemeKind
+from repro.sim.sweep import (
+    CellSpec,
+    HttpStore,
+    cell_fingerprint,
+    execute_cell,
+    make_store_server,
+    run_cells,
+    run_distributed,
+)
+from repro.sim.sweep.store import entry_for
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PERF") != "1",
+    reason="perf smoke is opt-in: set REPRO_PERF=1",
+)
+
+OUTPUT = "BENCH_dispatch.json"
+
+#: round trips for the keep-alive comparison.
+ROUND_TRIPS = 200
+
+#: a fig6-style slice: two *comparably heavy* warm groups (same
+#: benchmark, two schemes), 4 timing variants each — balanced groups are
+#: what gives a 2-worker cluster something to actually split
+GRID = [
+    CellSpec("swim", scheme, hash_throughput=throughput,
+             instructions=2_000, warmup=20_000)
+    for scheme in (SchemeKind.CHASH, SchemeKind.MHASH)
+    for throughput in (0.8, 1.6, 3.2, 6.4)
+]
+
+
+def _serve(root):
+    server = make_store_server(root, port=0, lease_ttl_s=30.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    return server, thread, f"http://{host}:{port}"
+
+
+def _spawn_worker(url, tmp_path, name):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--coordinator", url,
+         "--cache-dir", str(tmp_path / f"l1-{name}"), "--name", name,
+         "--poll", "0.05", "--exit-when-idle"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT)
+
+
+def test_perf_dispatch(tmp_path):
+    server, thread, url = _serve(tmp_path / "served")
+    try:
+        spec = GRID[0].normalized()
+        fingerprint = cell_fingerprint(spec)
+        result = execute_cell(spec)
+        store = HttpStore(url)
+        store.put(fingerprint, spec, result, 0.1)
+
+        # -- keep-alive vs fresh connection per round trip ----------------
+        start = time.perf_counter()
+        for _ in range(ROUND_TRIPS):
+            store.channel.request("GET", f"/cells/{fingerprint}")
+        keepalive_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(ROUND_TRIPS):
+            store.channel.request("GET", f"/cells/{fingerprint}")
+            store.channel.close()  # force a fresh TCP connection each time
+        fresh_s = time.perf_counter() - start
+
+        # -- gzip vs identity on a batch of entries -----------------------
+        entries = [
+            json.dumps(entry_for(cell_fingerprint(cell.normalized()),
+                                 cell.normalized(), result, 0.1),
+                       separators=(",", ":")).encode("utf-8")
+            for cell in GRID
+        ]
+        identity_bytes = sum(len(body) for body in entries)
+        gzip_bytes = sum(len(gzip.compress(body)) for body in entries)
+
+        # -- full distributed loop vs local ------------------------------
+        start = time.perf_counter()
+        local = run_cells(GRID, jobs=1, cache=None)
+        local_s = time.perf_counter() - start
+        assert not local.failed, local.summary()
+
+        workers = [_spawn_worker(url, tmp_path, name)
+                   for name in ("alpha", "beta")]
+        try:
+            start = time.perf_counter()
+            distributed = run_distributed(GRID, url,
+                                          cache_dir=tmp_path / "driver",
+                                          poll_s=0.05, timeout_s=600)
+            distributed_s = time.perf_counter() - start
+            for worker in workers:
+                worker.wait(timeout=120)
+        finally:
+            for worker in workers:
+                worker.kill()
+        assert not distributed.failed, distributed.summary()
+
+        # the speedup only counts because the results are identical
+        reference = {o.spec: o.result for o in local.outcomes}
+        for outcome in distributed.outcomes:
+            assert outcome.result.stats == reference[outcome.spec].stats
+            assert outcome.result.cycles == reference[outcome.spec].cycles
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    record = {
+        "keepalive": {
+            "round_trips": ROUND_TRIPS,
+            "keepalive_s": round(keepalive_s, 3),
+            "fresh_connection_s": round(fresh_s, 3),
+            "speedup": round(fresh_s / keepalive_s, 2),
+        },
+        "gzip": {
+            "entries": len(GRID),
+            "identity_bytes": identity_bytes,
+            "gzip_bytes": gzip_bytes,
+            "ratio": round(identity_bytes / gzip_bytes, 2),
+        },
+        "distributed": {
+            "cells": len(GRID),
+            # the speedup is bounded by physical cores: on a 1-CPU box
+            # two workers time-slice and the ratio honestly dips below 1
+            "cpu_count": os.cpu_count(),
+            "workers": len(distributed.workers),
+            "local_jobs1_s": round(local_s, 3),
+            "distributed_s": round(distributed_s, 3),
+            "speedup": round(local_s / distributed_s, 2),
+            "requeues": distributed.requeues,
+        },
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {OUTPUT}: keep-alive x{record['keepalive']['speedup']}, "
+          f"gzip x{record['gzip']['ratio']}, "
+          f"2-worker grid x{record['distributed']['speedup']}")

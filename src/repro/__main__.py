@@ -28,10 +28,19 @@ Commands:
 ``sweep --figure FIG [--jobs N] [--store S] [--no-cache] [--fresh]``
     Run a whole figure grid in parallel with the tiered result store
     (``--jobs 0`` = one worker per CPU; ``--store PATH|URL`` adds a
-    shared L2 tier, also via ``REPRO_STORE``).
-``store-serve [--root DIR] [--host H] [--port P]``
+    shared L2 tier, also via ``REPRO_STORE``).  With ``--coordinator
+    URL`` the grid is instead seeded onto a store-serve coordinator and
+    computed by ``repro worker`` processes on any number of hosts —
+    bit-identical to the local run.
+``store-serve [--root DIR] [--host H] [--port P] [--lease-ttl S]``
     Serve a store directory over HTTP so several hosts can pool one
-    cache (the ``--store http://host:port`` counterpart).
+    cache (the ``--store http://host:port`` counterpart).  Also the
+    coordinator of distributed sweeps: carries the work-lease board
+    ``repro worker`` processes claim groups from.  SIGINT/SIGTERM shut
+    it down cleanly (cost history flushed).
+``worker --coordinator URL [--name N] [--exit-when-idle]``
+    Claim warm groups from a coordinator, compute them, and write the
+    results back — one process per core per machine scales a sweep out.
 ``cache prune [--cache-dir DIR] [--store S] [--tmp-only]``
     Remove stale ``*.json.tmp*`` droppings and unreadable/schema-
     mismatched entries, reporting reclaimed bytes.
@@ -178,6 +187,8 @@ def _cmd_sweep(args) -> int:
     if args.kernels:
         cells = [dataclasses.replace(cell, kernels=args.kernels)
                  for cell in cells]
+    if args.coordinator:
+        return _sweep_distributed(args, cells, sweep_ipc_table)
     store_spec = args.store if args.store is not None \
         else os.environ.get(STORE_ENV)
     cache = None if args.no_cache else build_store(args.cache_dir, store_spec)
@@ -215,24 +226,108 @@ def _cmd_sweep(args) -> int:
     return 1 if report.failed else 0
 
 
+def _sweep_distributed(args, cells, sweep_ipc_table) -> int:
+    """The ``sweep --coordinator URL`` path: seed, wait, report."""
+    from .sim.sweep import CoordinatorError, run_distributed
+
+    def progress(outcome) -> None:
+        if outcome.source == "cached":
+            tier = "L2 shared" if outcome.tier == "shared" else "L1 local"
+            print(f"  [cached {tier:6s}] {outcome.spec.label()}")
+        elif outcome.source == "failed":
+            print(f"  [FAILED       ] {outcome.spec.label()}: "
+                  f"{outcome.error}")
+        else:
+            where = f" @{outcome.worker}" if outcome.worker else ""
+            print(f"  [run {outcome.elapsed_s:7.2f}s{where}] "
+                  f"{outcome.spec.label()}")
+
+    if args.no_cache:
+        print("sweep: --no-cache is ignored with --coordinator (the "
+              "coordinator *is* the result store)", file=sys.stderr)
+    try:
+        report = run_distributed(
+            cells,
+            args.coordinator,
+            cache_dir=args.cache_dir,
+            fresh=args.fresh,
+            lease_ttl_s=args.lease_ttl,
+            progress=progress,
+        )
+    except (CoordinatorError, OSError) as error:
+        print(f"sweep: coordinator {args.coordinator} failed: {error}",
+              file=sys.stderr)
+        return 2
+    print()
+    print(sweep_ipc_table(report, title=f"{args.figure}: IPC"))
+    print()
+    print(report.summary())
+    return 1 if report.failed else 0
+
+
+def _cmd_worker(args) -> int:
+    from .sim.sweep import run_worker
+
+    try:
+        return run_worker(
+            args.coordinator,
+            cache_dir=args.cache_dir,
+            name=args.name,
+            poll_s=args.poll,
+            exit_when_idle=args.exit_when_idle,
+            max_groups=args.max_groups,
+            log=print,
+        )
+    except KeyboardInterrupt:
+        return 130
+
+
 def _cmd_store_serve(args) -> int:
+    import signal
+    import threading
+
     from .sim.sweep import make_store_server
 
     try:
-        server = make_store_server(args.root, host=args.host, port=args.port)
+        server = make_store_server(args.root, host=args.host, port=args.port,
+                                   work=not args.no_work,
+                                   lease_ttl_s=args.lease_ttl)
     except OSError as error:
         print(f"store-serve: cannot bind {args.host}:{args.port}: {error}",
               file=sys.stderr)
         return 2
     host, port = server.server_address[:2]
-    print(f"serving result store {args.root} at http://{host}:{port} "
-          f"(point sweeps at it with --store or REPRO_STORE; Ctrl-C stops)")
+    role = "coordinator + result store" if not args.no_work \
+        else "result store"
+    print(f"serving {role} {args.root} at http://{host}:{port} "
+          f"(point sweeps at it with --store/--coordinator or REPRO_STORE; "
+          f"Ctrl-C stops)")
+
+    # serve_forever runs in a helper thread so the main thread can wait
+    # on a signal-driven event: SIGINT and SIGTERM both stop the server
+    # cleanly and flush the batched cost history before exit.
+    stop = threading.Event()
+
+    def _request_stop(_signum, _frame) -> None:
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, _request_stop)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
         pass
     finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.shutdown()
+        thread.join(timeout=5.0)
+        server.store.flush_costs()
         server.server_close()
+    print("store-serve: shut down cleanly (cost history flushed)")
     return 0
 
 
@@ -355,6 +450,17 @@ def main(argv=None) -> int:
                        help="kernel backend for warm-up and measurement "
                             "(default: $REPRO_KERNELS, then auto); "
                             "bit-identical either way")
+    sweep.add_argument("--coordinator", default=None, metavar="URL",
+                       help="distribute the sweep: seed the grid onto this "
+                            "store-serve coordinator and wait for repro "
+                            "worker processes to compute it (--jobs and "
+                            "--no-warm-share do not apply; results are "
+                            "bit-identical to a local run)")
+    sweep.add_argument("--lease-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with --coordinator: lease time-to-live to "
+                            "configure on the board (default: keep the "
+                            "coordinator's setting)")
 
     serve = sub.add_parser("store-serve")
     serve.add_argument("--root", default=".repro_store",
@@ -365,6 +471,33 @@ def main(argv=None) -> int:
                             "0.0.0.0 to pool across hosts)")
     serve.add_argument("--port", type=int, default=8737,
                        help="TCP port (default: 8737; 0 = ephemeral)")
+    serve.add_argument("--lease-ttl", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="work-lease time-to-live: how long a silent "
+                            "worker keeps a claimed group before it is "
+                            "requeued (default: 60)")
+    serve.add_argument("--no-work", action="store_true",
+                       help="serve cell entries only, without the "
+                            "distributed-sweep work-lease board")
+
+    worker = sub.add_parser("worker")
+    worker.add_argument("--coordinator", required=True, metavar="URL",
+                        help="store-serve coordinator to claim work from")
+    worker.add_argument("--name", default=None,
+                        help="worker name for the coordinator's accounting "
+                             "(default: <hostname>-<pid>)")
+    worker.add_argument("--cache-dir", default=None,
+                        help="local (L1) store root "
+                             "(default: .repro_cache)")
+    worker.add_argument("--poll", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="idle poll interval (default: 0.5)")
+    worker.add_argument("--exit-when-idle", action="store_true",
+                        help="exit once the board has been seeded and "
+                             "fully drained instead of polling forever")
+    worker.add_argument("--max-groups", type=int, default=None, metavar="N",
+                        help="exit after completing N groups "
+                             "(default: unlimited)")
 
     cache_cmd = sub.add_parser("cache")
     cache_cmd.add_argument("action", choices=["prune"],
@@ -409,6 +542,7 @@ def main(argv=None) -> int:
         "area": _cmd_area,
         "sweep": _cmd_sweep,
         "store-serve": _cmd_store_serve,
+        "worker": _cmd_worker,
         "cache": _cmd_cache,
         "check": _cmd_check,
         "trace": _cmd_trace,

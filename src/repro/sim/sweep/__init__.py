@@ -6,11 +6,20 @@ else is the cell-based engine: :class:`CellSpec` (declarative cells),
 :mod:`~repro.sim.sweep.store` tier hierarchy (:class:`DiskCellCache` as
 the local L1, :class:`DirectoryStore`/:class:`HttpStore` as shareable
 L2s, :class:`TieredStore` combining them), the cost-aware work-stealing
-:mod:`~repro.sim.sweep.schedule`, and :func:`run_cells` (deterministic
-parallel execution).
+:mod:`~repro.sim.sweep.schedule`, :func:`run_cells` (deterministic
+parallel execution), and the :mod:`~repro.sim.sweep.dispatch` work-lease
+coordinator that spreads one sweep across machines
+(:func:`run_distributed` + :func:`run_worker`).
 """
 
 from .diskcache import DiskCellCache
+from .dispatch import (
+    CoordinatorClient,
+    CoordinatorError,
+    LeaseBoard,
+    run_distributed,
+    run_worker,
+)
 from .figures import FIGURES, figure_cells
 from .fingerprint import (
     CACHE_SCHEMA_VERSION,
@@ -23,19 +32,28 @@ from .grid import baseline_of, run_grid
 from .runner import (
     CellOutcome,
     SweepReport,
+    dedupe_cells,
     execute_cell,
     execute_group,
     resolve_jobs,
     results_grid,
     run_cells,
+    warm_groups_of,
 )
 from .schedule import CostModel, WorkQueue, balance_groups, split_group
-from .spec import CELL_PARAMS, CellSpec, cell_param_defaults
+from .spec import (
+    CELL_PARAMS,
+    CellSpec,
+    cell_param_defaults,
+    spec_from_dict,
+    spec_to_dict,
+)
 from .store import (
     DEFAULT_CACHE_DIR,
     STORE_ENV,
     DirectoryStore,
     Fetched,
+    HttpChannel,
     HttpStore,
     PruneReport,
     ResultStore,
@@ -52,13 +70,17 @@ __all__ = [
     "CELL_PARAMS",
     "CellOutcome",
     "CellSpec",
+    "CoordinatorClient",
+    "CoordinatorError",
     "CostModel",
     "DEFAULT_CACHE_DIR",
     "DirectoryStore",
     "DiskCellCache",
     "FIGURES",
     "Fetched",
+    "HttpChannel",
     "HttpStore",
+    "LeaseBoard",
     "PruneReport",
     "ResultStore",
     "STORE_ENV",
@@ -72,6 +94,7 @@ __all__ = [
     "cell_param_defaults",
     "config_from_dict",
     "config_to_dict",
+    "dedupe_cells",
     "execute_cell",
     "execute_group",
     "figure_cells",
@@ -82,7 +105,12 @@ __all__ = [
     "result_to_dict",
     "results_grid",
     "run_cells",
+    "run_distributed",
     "run_grid",
+    "run_worker",
+    "spec_from_dict",
+    "spec_to_dict",
     "split_group",
     "warm_fingerprint",
+    "warm_groups_of",
 ]

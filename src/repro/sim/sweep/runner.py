@@ -55,6 +55,37 @@ def resolve_jobs(jobs: int) -> int:
     return max(1, jobs)
 
 
+def dedupe_cells(cells: Iterable[CellSpec]) -> List[CellSpec]:
+    """Normalize cells and drop duplicates, preserving first-seen order.
+
+    Figures share rows (fig4/fig5 are fig3 subsets), so a ``--figure
+    all`` request contains many equivalent spellings of the same cell;
+    every sweep front end — local or distributed — runs each exactly
+    once.
+    """
+    unique: List[CellSpec] = []
+    seen = set()
+    for cell in cells:
+        spec = cell.normalized()
+        if spec not in seen:
+            seen.add(spec)
+            unique.append(spec)
+    return unique
+
+
+def warm_groups_of(pending: Sequence[CellSpec]) -> List[List[CellSpec]]:
+    """Partition cells into warm-sharing groups, deterministically ordered.
+
+    Cells sharing a :func:`warm_fingerprint` form one group (warmed once,
+    measured from restored snapshots); groups come back sorted by that
+    fingerprint so every front end seeds identical groups.
+    """
+    grouped: Dict[str, List[CellSpec]] = {}
+    for spec in pending:
+        grouped.setdefault(warm_fingerprint(spec), []).append(spec)
+    return [grouped[key] for key in sorted(grouped)]
+
+
 def resolved_backend(spec: CellSpec) -> str:
     """The concrete backend label ``spec``'s measured suffix runs on.
 
@@ -161,6 +192,9 @@ class CellOutcome:
     #: L1 directory, ``"shared"`` for an L2 hit hydrated into L1);
     #: ``None`` for run/failed cells.
     tier: Optional[str] = None
+    #: Remote worker that computed a distributed cell (``None`` for
+    #: cells run in this process or served from the store).
+    worker: Optional[str] = None
 
 
 @dataclass
@@ -180,6 +214,12 @@ class SweepReport:
     store_used: bool = False
     #: Store lookups that missed every tier (the cells that had to run).
     store_misses: int = 0
+    #: Expired-lease requeues a distributed sweep's coordinator performed
+    #: (each one is a dead or wedged worker's group handed to a live one).
+    requeues: int = 0
+    #: Per-remote-worker accounting of a distributed sweep:
+    #: ``name -> {"cells", "claims", "requeues", "failures"}``.
+    workers: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def results(self) -> Dict[CellSpec, SimResult]:
@@ -257,6 +297,21 @@ class SweepReport:
                     f"{'s' if self.steals != 1 else ''} "
                     f"(extra warm-ups traded for parallelism)"
                 )
+        if self.requeues:
+            lines.append(
+                f"  lease requeues: {self.requeues} expired lease"
+                f"{'s' if self.requeues != 1 else ''} handed to live workers"
+            )
+        for name in sorted(self.workers):
+            stats = self.workers[name]
+            lines.append(
+                f"  worker {name}: {stats.get('cells', 0)} cells over "
+                f"{stats.get('claims', 0)} claims"
+                + (f", {stats['requeues']} lease(s) lost"
+                   if stats.get("requeues") else "")
+                + (f", {stats['failures']} failure(s)"
+                   if stats.get("failures") else "")
+            )
         if failed:
             for outcome in failed:
                 lines.append(f"  FAILED {outcome.spec.label()}: {outcome.error}")
@@ -295,13 +350,7 @@ def run_cells(
     """
     started = time.perf_counter()
     jobs = resolve_jobs(jobs)
-    unique: List[CellSpec] = []
-    seen = set()
-    for cell in cells:
-        spec = cell.normalized()
-        if spec not in seen:
-            seen.add(spec)
-            unique.append(spec)
+    unique = dedupe_cells(cells)
 
     fingerprints = {spec: cell_fingerprint(spec) for spec in unique}
     outcomes: Dict[CellSpec, CellOutcome] = {}
@@ -378,11 +427,7 @@ def run_cells(
                         else:
                             record(spec, result, elapsed, backend=backend)
     elif pending:
-        grouped: Dict[str, List[CellSpec]] = {}
-        for spec in pending:
-            grouped.setdefault(warm_fingerprint(spec), []).append(spec)
-        queue = WorkQueue([grouped[key] for key in sorted(grouped)],
-                          cost_model)
+        queue = WorkQueue(warm_groups_of(pending), cost_model)
         if jobs <= 1:
             while True:
                 group = queue.take(1)

@@ -153,6 +153,45 @@ class WorkQueue:
     def queued_cells(self) -> int:
         return sum(len(item[2]) for item in self._queue)
 
+    def add(self, group: Sequence[CellSpec]) -> None:
+        """Queue one more group (a late seed or a requeued expired lease)."""
+        if not group:
+            return
+        self._queue.append(self._item(list(group)))
+        self._sort()
+
+    def reprice(self, cost_model: CostModel) -> None:
+        """Re-estimate every queued group under a fresh cost model.
+
+        The coordinator calls this as completions stream in, so LPT
+        ordering improves *during* a run instead of being frozen at seed
+        time.  Purely advisory: ordering can never change results.
+        """
+        self.model = cost_model
+        self._queue = [self._item(group) for _cost, _label, group
+                       in self._queue]
+        self._sort()
+
+    def discard_cells(self, should_drop) -> int:
+        """Drop queued cells ``should_drop`` matches; returns the count.
+
+        The coordinator uses this when a presumed-dead worker's results
+        arrive *after* its lease expired and its group was requeued: the
+        late results are valid (content-addressed, bit-identical), so
+        the requeued copies are redundant work.
+        """
+        dropped = 0
+        rebuilt = []
+        for _cost, _label, group in self._queue:
+            kept = [cell for cell in group if not should_drop(cell)]
+            dropped += len(group) - len(kept)
+            if kept:
+                rebuilt.append(self._item(kept))
+        if dropped:
+            self._queue = rebuilt
+            self._sort()
+        return dropped
+
     def _split_costliest(self) -> bool:
         """Halve the costliest group with >= 2 cells; False when none."""
         for index, (_cost, _label, group) in enumerate(self._queue):

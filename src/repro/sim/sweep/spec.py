@@ -152,6 +152,70 @@ class CellSpec:
         return "/".join(parts)
 
 
+def spec_to_dict(spec: CellSpec) -> Dict[str, object]:
+    """Serialize a cell to plain JSON-able data (the dispatch wire format).
+
+    Everything that defines the cell goes over the wire — including
+    ``kernels``, so a driver's explicit backend request reaches remote
+    workers — and :func:`spec_from_dict` round-trips it exactly.
+    """
+    data: Dict[str, object] = {
+        "benchmark": spec.benchmark,
+        "scheme": spec.scheme.value,
+        "instructions": spec.instructions,
+        "warmup": spec.warmup,
+        "seed": spec.seed,
+        "kernels": spec.kernels,
+    }
+    for param in CELL_PARAMS:
+        data[param] = getattr(spec, param)
+    return data
+
+
+def spec_from_dict(data: Dict[str, object]) -> CellSpec:
+    """Rebuild a :class:`CellSpec` from :func:`spec_to_dict` output.
+
+    Raises ``ValueError``/``KeyError``/``TypeError`` on malformed data —
+    the coordinator uses that to reject a bad seed request outright
+    instead of queueing work no worker could run.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"cell spec is {type(data).__name__}, not an object")
+    defaults = cell_param_defaults()
+    overrides: Dict[str, object] = {}
+    for param in CELL_PARAMS:
+        value = data.get(param)
+        if value is not None:
+            # type-check against the defaults table so a corrupt payload
+            # (a string block size, a fractional entry count) fails here,
+            # not as a TypeError deep inside a worker's simulation
+            kind = type(defaults[param])
+            if kind is bool:
+                if not isinstance(value, bool):
+                    raise ValueError(f"{param} must be a boolean, "
+                                     f"got {value!r}")
+            elif isinstance(value, bool) \
+                    or not isinstance(value, (int, float)):
+                raise ValueError(f"{param} must be a number, got {value!r}")
+            elif kind is int and float(value) != int(value):
+                raise ValueError(f"{param} must be integral, got {value!r}")
+            else:
+                value = kind(value)
+        overrides[param] = value
+    spec = CellSpec(
+        benchmark=data["benchmark"],
+        scheme=SchemeKind(data["scheme"]),
+        instructions=int(data.get("instructions", 12_000)),
+        warmup=data.get("warmup"),
+        seed=int(data.get("seed", 0)),
+        kernels=data.get("kernels"),
+        **overrides,
+    )
+    if not isinstance(spec.benchmark, str) or not spec.benchmark:
+        raise ValueError("cell spec has no benchmark")
+    return spec.normalized()
+
+
 def _human_size(size_bytes: int) -> str:
     """``262144 -> "256K"``, ``1048576 -> "1M"`` (exact multiples only)."""
     for shift, suffix in ((20, "M"), (10, "K")):

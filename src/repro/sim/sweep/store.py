@@ -37,18 +37,20 @@ schedule estimate.
 
 from __future__ import annotations
 
+import gzip
+import http.client
 import itertools
 import json
 import logging
 import os
 import re
 import socket
+import threading
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, List, NamedTuple, Optional, Tuple, Union
-from urllib import error as urlerror
-from urllib import request as urlrequest
+from urllib.parse import urlsplit
 
 from ..results import SimResult
 from .fingerprint import CACHE_SCHEMA_VERSION, config_from_dict, config_to_dict
@@ -70,6 +72,29 @@ _STORE_ERRORS = (OSError, ValueError, KeyError, TypeError)
 
 #: cost-history sidecar file name (never a valid fingerprint name).
 _COSTS_NAME = "_costs.json"
+
+#: bodies at or above this size are gzip-compressed on the wire (both
+#: directions).  Cell entries are a few tens of KB of highly repetitive
+#: JSON, so this saves ~10x on the bulk transfers while leaving small
+#: control messages untouched.
+GZIP_MIN_BYTES = 4096
+
+#: connection-level failures a keep-alive client heals by reconnecting
+#: once: the server closed the idle socket (RemoteDisconnected /
+#: BadStatusLine) or the kernel reset it under us.
+_RECONNECT_ERRORS = (http.client.RemoteDisconnected,
+                     http.client.BadStatusLine,
+                     ConnectionError)
+
+
+def _speaks_gzip(server_header: str) -> bool:
+    """Whether a ``Server`` header names a gzip-capable store server.
+
+    ``repro-store/1`` predates compression; ``/2`` and later decode
+    ``Content-Encoding: gzip`` bodies and compress large responses.
+    """
+    match = re.search(r"repro-store/(\d+)", server_header)
+    return match is not None and int(match.group(1)) >= 2
 
 
 def result_to_dict(result: SimResult) -> dict:
@@ -229,24 +254,32 @@ class ResultStore:
         return None if fetched is None else fetched.result
 
     def put(self, fingerprint: str, spec: CellSpec, result: SimResult,
-            elapsed_s: float, backend: Optional[str] = None) -> None:
+            elapsed_s: float, backend: Optional[str] = None) -> bool:
         """Store ``result``; failures are logged, not raised.
 
         ``backend`` records which kernel backend produced the entry —
         pure provenance metadata: it never enters the fingerprint, and
-        reads ignore it, because backends are bit-identical.
+        reads ignore it, because backends are bit-identical.  Returns
+        whether the entry was durably written (distributed workers use
+        this to tell the coordinator when a result did *not* land).
         """
-        self.submit_entry(fingerprint, entry_for(fingerprint, spec, result,
-                                                 elapsed_s, backend))
+        return self.submit_entry(fingerprint,
+                                 entry_for(fingerprint, spec, result,
+                                           elapsed_s, backend))
 
-    def submit_entry(self, fingerprint: str, entry: dict) -> None:
-        """Write a fresh entry + record its cost; failures are logged."""
+    def submit_entry(self, fingerprint: str, entry: dict) -> bool:
+        """Write a fresh entry + record its cost; failures are logged.
+
+        Returns ``True`` when the write succeeded.
+        """
         try:
             self.write_entry(fingerprint, entry)
             self.record_cost(entry)
+            return True
         except _STORE_ERRORS as err:
             logger.warning("could not write cache entry %s to %s: %s",
                            fingerprint[:12], self.describe(), err)
+            return False
 
     def hydrate(self, fingerprint: str, entry: dict) -> None:
         """Copy an already-validated entry into this tier (no cost record)."""
@@ -264,6 +297,9 @@ class ResultStore:
     def cost_history(self) -> Dict[str, dict]:
         """``benchmark/scheme -> {"total_s", "cells"}`` advisory history."""
         return {}
+
+    def flush_costs(self) -> None:
+        """Force any batched cost history to durable storage (if kept)."""
 
     def prune(self, remove_entries: bool = True) -> PruneReport:
         """Remove droppings (and bad entries); no-op for remote tiers."""
@@ -300,10 +336,18 @@ class DirectoryStore(ResultStore):
     """
 
     def __init__(self, root: Union[str, Path, None] = None,
-                 label: str = "local"):
+                 label: str = "local", cost_flush_every: int = 1):
         super().__init__()
         self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
         self.label = label
+        #: with the default of 1 every cost record is a read-merge-write
+        #: of the sidecar (multi-process safe on a shared root); a store
+        #: that *owns* its root — the serving coordinator — batches
+        #: updates in memory and flushes every N records / on shutdown.
+        self.cost_flush_every = max(1, cost_flush_every)
+        self._costs_lock = threading.RLock()
+        self._costs_cache: Optional[Dict[str, dict]] = None
+        self._pending_costs = 0
 
     def describe(self) -> str:
         return str(self.root)
@@ -349,10 +393,29 @@ class DirectoryStore(ResultStore):
         elapsed = entry.get("elapsed_s")
         if key is None or not isinstance(elapsed, (int, float)):
             return
-        costs = self.cost_history()
+        with self._costs_lock:
+            if self.cost_flush_every == 1:
+                # read-merge-write each time so concurrent processes on a
+                # shared root fold their histories together
+                costs = self._read_costs_file()
+                self._bump(costs, key, float(elapsed))
+                self._write_costs(costs)
+                return
+            if self._costs_cache is None:
+                self._costs_cache = self._read_costs_file()
+            self._bump(self._costs_cache, key, float(elapsed))
+            self._pending_costs += 1
+            if self._pending_costs >= self.cost_flush_every:
+                self._write_costs(self._costs_cache)
+                self._pending_costs = 0
+
+    @staticmethod
+    def _bump(costs: Dict[str, dict], key: str, elapsed: float) -> None:
         bucket = costs.setdefault(key, {"total_s": 0.0, "cells": 0})
-        bucket["total_s"] = round(bucket["total_s"] + float(elapsed), 4)
+        bucket["total_s"] = round(bucket["total_s"] + elapsed, 4)
         bucket["cells"] += 1
+
+    def _write_costs(self, costs: Dict[str, dict]) -> None:
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             self._atomic_write(self._costs_path(),
@@ -362,7 +425,13 @@ class DirectoryStore(ResultStore):
             logger.debug("could not update cost history in %s: %s",
                          self.root, err)
 
-    def cost_history(self) -> Dict[str, dict]:
+    def flush_costs(self) -> None:
+        with self._costs_lock:
+            if self._costs_cache is not None and self._pending_costs:
+                self._write_costs(self._costs_cache)
+                self._pending_costs = 0
+
+    def _read_costs_file(self) -> Dict[str, dict]:
         try:
             with open(self._costs_path(), "r", encoding="utf-8") as handle:
                 data = json.load(handle)
@@ -379,6 +448,14 @@ class DirectoryStore(ResultStore):
                 history[key] = {"total_s": float(bucket["total_s"]),
                                 "cells": bucket["cells"]}
         return history
+
+    def cost_history(self) -> Dict[str, dict]:
+        with self._costs_lock:
+            if self._costs_cache is not None:
+                # deep-enough copy: callers mutate buckets when merging
+                return {key: dict(bucket)
+                        for key, bucket in self._costs_cache.items()}
+        return self._read_costs_file()
 
     # -- maintenance -------------------------------------------------------
 
@@ -435,52 +512,188 @@ class DirectoryStore(ResultStore):
             return 0
 
 
+class HttpResponse(NamedTuple):
+    """One decoded HTTP exchange: status + already-gunzipped body."""
+
+    status: int
+    body: bytes
+    #: the peer's ``Server`` header (gzip-capability negotiation).
+    server: str = ""
+
+
+class HttpChannel:
+    """One persistent keep-alive connection per thread to one base URL.
+
+    The original client opened (and tore down) a fresh ``urllib`` socket
+    per request — three syscall-heavy round trips of TCP setup for every
+    few-KB entry.  This channel keeps one ``http.client.HTTPConnection``
+    alive per *thread* (connections are not thread-safe; thread-local
+    storage makes sharing one channel across a pool of workers safe) and
+    transparently reconnects once when the server closed the idle socket
+    (``RemoteDisconnected`` et al.).  A request that cannot be retried
+    safely after partial transmission is simply re-sent: every verb the
+    store and the dispatch protocol use is either idempotent (``GET``,
+    ``PUT``, heartbeats) or re-sendable by design (a replayed claim can
+    only orphan a lease, which the lease TTL reclaims).
+
+    Bodies at or above :data:`GZIP_MIN_BYTES` are gzip-compressed with
+    ``Content-Encoding: gzip``; responses are requested (and decoded)
+    the same way.  Old servers that predate compression reject a gzip
+    body as unparseable (HTTP 400) — :meth:`request` then retries once
+    uncompressed and disables compression for the channel's lifetime, so
+    new clients interoperate with old coordinators at worst one wasted
+    round trip per process.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        parts = urlsplit(self.base_url)
+        if parts.scheme not in ("http", "https"):
+            raise ValueError(f"unsupported store URL scheme: {base_url!r}")
+        self._https = parts.scheme == "https"
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port
+        self._prefix = parts.path.rstrip("/")
+        self.timeout = timeout
+        self._local = threading.local()
+        #: flipped off permanently after a server rejects a gzip body.
+        self.send_gzip = True
+
+    # -- connection lifecycle ---------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            factory = (http.client.HTTPSConnection if self._https
+                       else http.client.HTTPConnection)
+            conn = factory(self._host, self._port, timeout=self.timeout)
+            try:
+                # connect eagerly to disable Nagle: header and body go out
+                # in separate small writes, and on a keep-alive connection
+                # Nagle + delayed ACK turns every request into a ~40 ms
+                # stall — slower than reconnecting per request!
+                conn.connect()
+                if conn.sock is not None:
+                    conn.sock.setsockopt(socket.IPPROTO_TCP,
+                                         socket.TCP_NODELAY, 1)
+            except OSError:
+                pass  # surface the failure on the first request instead
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Drop this thread's connection (the next request reconnects)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+
+    # -- requests ----------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: Optional[bytes] = None,
+                content_type: str = "application/json") -> HttpResponse:
+        """One round trip; raises ``OSError`` on any transport failure."""
+        compressed = (self.send_gzip and body is not None
+                      and len(body) >= GZIP_MIN_BYTES)
+        response = self._round_trip(method, path, body, content_type,
+                                    compressed)
+        if (compressed and response.status == 400
+                and not _speaks_gzip(response.server)):
+            # an old (pre-gzip) server parsed raw gzip bytes as JSON and
+            # rejected the request — fall back to identity for good.  A
+            # gzip-capable server advertises itself in its Server header,
+            # so its legitimate 400s (invalid entries) never trip this.
+            self.send_gzip = False
+            response = self._round_trip(method, path, body, content_type,
+                                        False)
+        return response
+
+    def _round_trip(self, method: str, path: str, body: Optional[bytes],
+                    content_type: str, compressed: bool) -> HttpResponse:
+        payload = body
+        headers = {"Accept-Encoding": "gzip"}
+        if body is not None:
+            headers["Content-Type"] = content_type
+            if compressed:
+                payload = gzip.compress(body)
+                headers["Content-Encoding"] = "gzip"
+        last_error: Optional[Exception] = None
+        for attempt in range(2):
+            conn = self._connection()
+            try:
+                conn.request(method, self._prefix + path, body=payload,
+                             headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                if response.getheader("Content-Encoding") == "gzip":
+                    data = gzip.decompress(data)
+                return HttpResponse(response.status, data,
+                                    response.getheader("Server", "") or "")
+            except _RECONNECT_ERRORS as err:
+                # stale keep-alive socket (or a flaky peer): reconnect
+                # once on a fresh connection before giving up
+                self.close()
+                last_error = err
+            except (http.client.HTTPException, OSError) as err:
+                self.close()
+                raise err if isinstance(err, OSError) \
+                    else OSError(f"{type(err).__name__}: {err}")
+        raise last_error if isinstance(last_error, OSError) \
+            else OSError(f"{type(last_error).__name__}: {last_error}")
+
+
 class HttpStore(ResultStore):
     """Client half of the stdlib HTTP store pair (L2 over the network).
 
     Talks to the ``python -m repro store-serve`` coordinator:
     ``GET /cells/<fingerprint>`` (200 entry JSON / 404 miss),
     ``PUT /cells/<fingerprint>`` (entry JSON body), ``GET /costs``
-    (advisory cost history).  Every network failure follows the store
-    contract: logged miss on read, logged drop on write.
+    (advisory cost history) — all over one per-thread keep-alive
+    :class:`HttpChannel`, with large entries gzip-compressed in both
+    directions.  Every network failure follows the store contract:
+    logged miss on read, logged drop on write.
     """
 
     label = "shared"
 
     def __init__(self, base_url: str, timeout: float = 10.0):
         super().__init__()
-        self.base_url = base_url.rstrip("/")
+        self.channel = HttpChannel(base_url, timeout=timeout)
+        self.base_url = self.channel.base_url
         self.timeout = timeout
 
     def describe(self) -> str:
         return self.base_url
 
-    def _cell_url(self, fingerprint: str) -> str:
-        return f"{self.base_url}/cells/{fingerprint}"
+    def close(self) -> None:
+        self.channel.close()
 
     def read_entry(self, fingerprint: str) -> Optional[dict]:
-        try:
-            with urlrequest.urlopen(self._cell_url(fingerprint),
-                                    timeout=self.timeout) as response:
-                return json.load(response)
-        except urlerror.HTTPError as err:
-            if err.code == 404:
-                return None
-            raise
+        response = self.channel.request("GET", f"/cells/{fingerprint}")
+        if response.status == 404:
+            return None
+        if response.status != 200:
+            raise OSError(f"HTTP {response.status} reading {fingerprint[:12]}")
+        return json.loads(response.body.decode("utf-8"))
 
     def write_entry(self, fingerprint: str, entry: dict) -> None:
         body = json.dumps(entry, separators=(",", ":")).encode("utf-8")
-        req = urlrequest.Request(self._cell_url(fingerprint), data=body,
-                                 method="PUT",
-                                 headers={"Content-Type": "application/json"})
-        with urlrequest.urlopen(req, timeout=self.timeout):
-            pass
+        response = self.channel.request("PUT", f"/cells/{fingerprint}", body)
+        if response.status not in (200, 201, 204):
+            detail = response.body.decode("utf-8", "replace")[:200]
+            raise OSError(f"HTTP {response.status} writing "
+                          f"{fingerprint[:12]}: {detail}")
 
     def cost_history(self) -> Dict[str, dict]:
         try:
-            with urlrequest.urlopen(f"{self.base_url}/costs",
-                                    timeout=self.timeout) as response:
-                data = json.load(response)
+            response = self.channel.request("GET", "/costs")
+            if response.status != 200:
+                return {}
+            data = json.loads(response.body.decode("utf-8"))
         except _STORE_ERRORS:
             return {}
         return data if isinstance(data, dict) else {}
@@ -528,10 +741,16 @@ class TieredStore(ResultStore):
         return None if fetched is None else fetched.result
 
     def put(self, fingerprint: str, spec: CellSpec, result: SimResult,
-            elapsed_s: float, backend: Optional[str] = None) -> None:
+            elapsed_s: float, backend: Optional[str] = None) -> bool:
         entry = entry_for(fingerprint, spec, result, elapsed_s, backend)
         self.local.submit_entry(fingerprint, entry)
-        self.shared.submit_entry(fingerprint, entry)
+        # the *shared* write is the one that makes a distributed result
+        # visible to the coordinator — its success is what callers need
+        return self.shared.submit_entry(fingerprint, entry)
+
+    def flush_costs(self) -> None:
+        self.local.flush_costs()
+        self.shared.flush_costs()
 
     def cost_history(self) -> Dict[str, dict]:
         merged = dict(self.shared.cost_history())
@@ -579,22 +798,49 @@ def build_store(cache_dir: Union[str, Path, None] = None,
 # --------------------------------------------------------------------------
 
 class _StoreHandler(BaseHTTPRequestHandler):
-    """Request handler bound to one server's :class:`DirectoryStore`."""
+    """Request handler bound to one server's :class:`DirectoryStore`.
 
-    server_version = "repro-store/1"
+    Version 2 of the protocol adds transparent gzip (large bodies in
+    both directions, negotiated via the standard ``Content-Encoding`` /
+    ``Accept-Encoding`` headers) and, when the server carries a
+    :class:`~repro.sim.sweep.dispatch.LeaseBoard`, the work-lease
+    endpoints under ``/work/`` that turn a store server into a sweep
+    coordinator (``POST /work/seed|claim``, ``POST
+    /work/<lease>/heartbeat|done``, ``GET /work/status``).
+    """
+
+    server_version = "repro-store/2"
     protocol_version = "HTTP/1.1"
-    #: upper bound on an entry body; a cell entry is a few tens of KB.
+    #: response headers and bodies are separate writes too — without this
+    #: the *client* sees the same Nagle/delayed-ACK stall on reads.
+    disable_nagle_algorithm = True
+    #: upper bound on a request body (after decompression); a cell entry
+    #: is a few tens of KB, a seed request a few hundred KB at most.
     max_body_bytes = 16 * 1024 * 1024
 
     def _store(self) -> DirectoryStore:
         return self.server.store  # type: ignore[attr-defined]
 
+    def _board(self):
+        return getattr(self.server, "board", None)
+
+    def _accepts_gzip(self) -> bool:
+        return "gzip" in self.headers.get("Accept-Encoding", "")
+
     def _send_json(self, code: int, payload: bytes) -> None:
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
+        if self._accepts_gzip() and len(payload) >= GZIP_MIN_BYTES:
+            payload = gzip.compress(payload)
+            self.send_header("Content-Encoding", "gzip")
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
+
+    def _send_object(self, code: int, payload: dict) -> None:
+        self._send_json(code, json.dumps(payload, sort_keys=True,
+                                         separators=(",", ":"))
+                        .encode("utf-8"))
 
     def _send_empty(self, code: int, message: str = "") -> None:
         body = message.encode("utf-8")
@@ -603,6 +849,28 @@ class _StoreHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _read_body(self) -> Optional[bytes]:
+        """The request body, gunzipped if needed; ``None`` = error sent."""
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._send_empty(411, "length required")
+            return None
+        if not 0 < length <= self.max_body_bytes:
+            self._send_empty(413, "body too large")
+            return None
+        body = self.rfile.read(length)
+        if self.headers.get("Content-Encoding") == "gzip":
+            try:
+                body = gzip.decompress(body)
+            except (OSError, EOFError):
+                self._send_empty(400, "bad gzip body")
+                return None
+            if len(body) > self.max_body_bytes:
+                self._send_empty(413, "body too large")
+                return None
+        return body
 
     def _fingerprint_of(self) -> Optional[str]:
         parts = self.path.strip("/").split("/")
@@ -613,14 +881,29 @@ class _StoreHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         store = self._store()
-        if self.path.rstrip("/") in ("", "/"):
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/")
+        if path == "":
+            board = self._board()
             status = {"store": "repro", "schema": CACHE_SCHEMA_VERSION,
-                      "entries": len(store)}
+                      "entries": len(store),
+                      "work": board is not None}
             self._send_json(200, json.dumps(status).encode("utf-8"))
             return
-        if self.path.rstrip("/") == "/costs":
+        if path == "/costs":
             payload = json.dumps(store.cost_history(), sort_keys=True)
             self._send_json(200, payload.encode("utf-8"))
+            return
+        if path == "/work/status":
+            board = self._board()
+            if board is None:
+                self._send_empty(404, "no work coordination on this server")
+                return
+            since = 0
+            match = re.search(r"(?:^|&)since=(\d+)", query)
+            if match:
+                since = int(match.group(1))
+            self._send_object(200, board.status(since=since))
             return
         fingerprint = self._fingerprint_of()
         if fingerprint is None:
@@ -642,15 +925,9 @@ class _StoreHandler(BaseHTTPRequestHandler):
         if fingerprint is None:
             self._send_empty(404, "unknown path")
             return
-        try:
-            length = int(self.headers.get("Content-Length", ""))
-        except ValueError:
-            self._send_empty(411, "length required")
+        body = self._read_body()
+        if body is None:
             return
-        if not 0 < length <= self.max_body_bytes:
-            self._send_empty(413, "entry too large")
-            return
-        body = self.rfile.read(length)
         store = self._store()
         try:
             entry = json.loads(body.decode("utf-8"))
@@ -662,6 +939,47 @@ class _StoreHandler(BaseHTTPRequestHandler):
             return
         self._send_empty(204)
 
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        board = self._board()
+        parts = self.path.strip("/").split("/")
+        if board is None or not parts or parts[0] != "work":
+            self._send_empty(404, "unknown path")
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict):
+                raise ValueError("request body is not an object")
+        except ValueError as err:
+            self._send_empty(400, f"bad request body: {err}")
+            return
+        try:
+            if parts[1:] == ["seed"]:
+                self._send_object(200, board.seed(
+                    payload.get("groups", []),
+                    ttl_s=payload.get("ttl_s"),
+                    fresh=bool(payload.get("fresh", False)),
+                ))
+            elif parts[1:] == ["claim"]:
+                self._send_object(200, board.claim(
+                    str(payload.get("worker", "anonymous"))))
+            elif len(parts) == 3 and parts[2] == "heartbeat":
+                renewed = board.heartbeat(parts[1],
+                                          str(payload.get("worker", "")))
+                self._send_object(200 if renewed.get("ok") else 410, renewed)
+            elif len(parts) == 3 and parts[2] == "done":
+                retired = board.done(parts[1],
+                                     str(payload.get("worker", "")),
+                                     payload.get("cells", []))
+                self._send_object(200, retired)
+            else:
+                self._send_empty(404, "unknown work endpoint")
+        except (ValueError, KeyError, TypeError) as err:
+            self._send_empty(400, f"rejected work request: "
+                                  f"{type(err).__name__}: {err}")
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         logger.debug("store-serve %s %s", self.address_string(),
                      format % args)
@@ -669,7 +987,9 @@ class _StoreHandler(BaseHTTPRequestHandler):
 
 def make_store_server(root: Union[str, Path],
                       host: str = "127.0.0.1",
-                      port: int = 8737) -> ThreadingHTTPServer:
+                      port: int = 8737,
+                      work: bool = True,
+                      lease_ttl_s: float = 60.0) -> ThreadingHTTPServer:
     """A ready-to-run coordinator over ``root`` (call ``serve_forever``).
 
     ``port=0`` binds an ephemeral port (useful in tests); the bound
@@ -678,8 +998,21 @@ def make_store_server(root: Union[str, Path],
     the pool — and the on-disk layout is exactly a
     :class:`DirectoryStore`, so the same root can simultaneously be
     mounted and used as a filesystem store.
+
+    With ``work=True`` (the default) the server also carries a
+    :class:`~repro.sim.sweep.dispatch.LeaseBoard` behind the ``/work/``
+    endpoints, making it the coordinator of distributed sweeps: drivers
+    seed warm groups, ``python -m repro worker`` processes claim and
+    complete them under ``lease_ttl_s``-second leases.  Cost records are
+    batched in memory (the server owns its root) and flushed every few
+    records — call ``server.store.flush_costs()`` on shutdown.
     """
+    from .dispatch import LeaseBoard  # circular at module level
+
     server = ThreadingHTTPServer((host, port), _StoreHandler)
     server.daemon_threads = True
-    server.store = DirectoryStore(root, label="served")  # type: ignore[attr-defined]
+    store = DirectoryStore(root, label="served", cost_flush_every=8)
+    server.store = store  # type: ignore[attr-defined]
+    server.board = (LeaseBoard(store, lease_ttl_s=lease_ttl_s)  # type: ignore[attr-defined]
+                    if work else None)
     return server
