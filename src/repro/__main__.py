@@ -44,9 +44,11 @@ Commands:
 ``cache prune [--cache-dir DIR] [--store S] [--tmp-only]``
     Remove stale ``*.json.tmp*`` droppings and unreadable/schema-
     mismatched entries, reporting reclaimed bytes.
-``check [PATHS ...] [--format text|github] [--selftest] [--list-rules]``
+``check [PATHS ...] [--format text|github] [--selftest] [--list-rules]
+[--verbose] [--baseline FILE [--update-baseline]]``
     Static-analysis gate: determinism, snapshot-completeness,
-    counter-symmetry, and scheme-API conformance passes.
+    counter-symmetry, scheme-API conformance, lock-discipline,
+    lock-ordering and wire-protocol passes.
 """
 
 from __future__ import annotations
@@ -350,7 +352,10 @@ def _cmd_cache(args) -> int:
 def _cmd_check(args) -> int:
     from pathlib import Path
 
-    from .checks import RULES, collect_findings, format_findings, run_selftest
+    from .checks import (
+        RULES, collect_findings, diff_baseline, format_findings,
+        record_baseline, run_selftest,
+    )
 
     if args.list_rules:
         width = max(len(rule) for rule in RULES)
@@ -364,7 +369,36 @@ def _cmd_check(args) -> int:
     # files named explicitly are linted as sim code even when they live
     # outside the default determinism scope (checks/, crypto/, tests)
     paths = [Path(p) for p in args.paths] or None
-    findings = collect_findings(paths=paths, assume_sim=paths is not None)
+    timings = [] if args.verbose else None
+    findings = collect_findings(paths=paths, assume_sim=paths is not None,
+                                timings=timings)
+    if timings:
+        total = sum(dt for _name, dt in timings)
+        for name, dt in timings:
+            print(f"  {name:<14s} {dt * 1000:7.1f} ms", file=sys.stderr)
+        print(f"  {'total':<14s} {total * 1000:7.1f} ms", file=sys.stderr)
+
+    baseline = Path(args.baseline) if args.baseline else None
+    if baseline is not None:
+        if args.update_baseline or not baseline.exists():
+            count = record_baseline(findings, baseline)
+            print(f"repro check: baseline of {count} finding(s) "
+                  f"written to {baseline}")
+            return 0
+        new, stale = diff_baseline(findings, baseline)
+        for path, rule, message in stale:
+            print(f"stale baseline entry: {path}: [{rule}] {message}",
+                  file=sys.stderr)
+        if new:
+            print(format_findings(sorted(new), args.format))
+            print(f"\nrepro check: {len(new)} new finding(s) not in "
+                  f"baseline {baseline}", file=sys.stderr)
+            return 1
+        suffix = f" ({len(stale)} stale baseline entries to prune)" \
+            if stale else ""
+        print(f"repro check: clean against baseline {baseline}{suffix}")
+        return 0
+
     if findings:
         print(format_findings(findings, args.format))
         print(f"\nrepro check: {len(findings)} finding(s)", file=sys.stderr)
@@ -525,6 +559,14 @@ def main(argv=None) -> int:
                             "fixtures instead of the tree")
     check.add_argument("--list-rules", action="store_true",
                        help="print every rule id with its description")
+    check.add_argument("--verbose", action="store_true",
+                       help="print per-pass timing to stderr")
+    check.add_argument("--baseline", default=None, metavar="FILE",
+                       help="JSON baseline: record on first run, then "
+                            "fail only on findings not in it")
+    check.add_argument("--update-baseline", action="store_true",
+                       help="rewrite --baseline FILE from the current "
+                            "findings")
 
     trace = sub.add_parser("trace")
     trace.add_argument("benchmark", choices=BENCHMARK_ORDER)

@@ -1,0 +1,65 @@
+"""Baseline record/diff for ``repro check --baseline FILE``.
+
+Lets a new rule land *warn-only* for one PR: the first run records every
+current finding to a JSON file; later runs fail only on findings **not**
+in the baseline, and report baseline entries that no longer fire (so the
+file can be shrunk and eventually deleted — the intended end state: a
+baseline is a ratchet toward zero, not a parking lot).
+
+Findings are matched by ``(path, rule, message)`` and deliberately *not*
+by line, so unrelated edits shifting code up or down do not resurrect a
+baselined finding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Set, Tuple
+
+from .findings import Finding
+
+_Key = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.path, finding.rule, finding.message)
+
+
+def record_baseline(findings: List[Finding], path: Path) -> int:
+    """Write the current findings as the baseline; returns the count."""
+    entries = [
+        {"path": f.path, "rule": f.rule, "message": f.message}
+        for f in sorted(findings)
+    ]
+    payload = json.dumps({"version": 1, "findings": entries}, indent=2,
+                         sort_keys=True)
+    path.write_text(payload + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: Path) -> Set[_Key]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("findings", []) if isinstance(data, dict) else []
+    keys: Set[_Key] = set()
+    for entry in entries:
+        if isinstance(entry, dict):
+            keys.add((str(entry.get("path", "")),
+                      str(entry.get("rule", "")),
+                      str(entry.get("message", ""))))
+    return keys
+
+
+def diff_baseline(findings: List[Finding], path: Path
+                  ) -> Tuple[List[Finding], List[_Key]]:
+    """``(new_findings, stale_entries)`` against the baseline at ``path``.
+
+    *new* findings are not in the baseline (these should fail the run);
+    *stale* entries are baselined findings that no longer fire (these
+    should be pruned from the file).
+    """
+    baseline = load_baseline(path)
+    new = [f for f in findings if _key(f) not in baseline]
+    current = {_key(f) for f in findings}
+    stale = sorted(baseline - current)
+    return new, stale

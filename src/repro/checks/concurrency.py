@@ -1,0 +1,711 @@
+"""Lock-discipline pass: shared mutable state must stay under its lock.
+
+The distributed layer (``store.py``/``dispatch.py``) is classic
+shared-state threading: a :class:`LeaseBoard` mutated by every
+``ThreadingHTTPServer`` handler thread, store counters bumped from
+handler and worker contexts, heartbeat daemon threads.  This pass
+rebuilds that ownership picture statically:
+
+* **which classes are concurrent** — a class is in scope when it owns a
+  lock (``self._x = threading.Lock()/RLock()`` — or the ``tsan``
+  factories ``new_lock()``/``new_rlock()``), spawns a thread at one of
+  its own methods (``threading.Thread(target=self._run)``), or carries
+  ``threading.local`` state (the author already declared it
+  thread-shared);
+* **which attributes are shared-mutable** — attributes the class itself
+  creates that are *written* outside ``__init__``/``__post_init__``
+  (direct assignment, augmented assignment, ``del``, subscript stores,
+  or calls to known container mutators like ``append``/``pop``/
+  ``setdefault``).  Synchronization primitives themselves (locks,
+  events, threads, ``threading.local``) are exempt: they are their own
+  guard;
+* **which lock owns an attribute** — the locks held at its write sites
+  (``with self._lock:`` regions, propagated through underscore-private
+  helpers that are only ever called with the lock held, e.g.
+  ``LeaseBoard._expire``).
+
+Any access (read or write) to a shared-mutable attribute outside its
+owning lock is a ``lock-unguarded-shared`` finding; genuinely benign
+lock-free paths carry a ``# repro-check: disable=...`` waiver with a
+justification.  ``BaseHTTPRequestHandler`` subclasses are exempt from
+*self*-attribute checking — a handler instance is per-request and
+thread-confined — but the board/store objects they reach are exactly
+the lock-owning classes this pass covers (and ``REPRO_TSAN=1`` checks
+the cross-object reach at runtime).
+
+Deliberate under-approximation: a method call on an attribute counts as
+a write only when its name is a known container mutator.  Objects that
+synchronize themselves (a store's ``record_cost``, a channel's
+``request``) would otherwise taint every caller; the runtime sanitizer
+covers what this loses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .astutils import ClassInfo, ModuleInfo, ProjectIndex
+from .findings import Finding
+
+#: threading/queue constructions that make an attribute a sync primitive
+#: (its own guard) rather than plain shared data.
+SYNC_TYPES = frozenset({
+    "Lock", "RLock", "Condition", "Event", "Semaphore",
+    "BoundedSemaphore", "Barrier", "Thread", "Timer", "local",
+    "Queue", "LifoQueue", "PriorityQueue", "SimpleQueue",
+})
+
+#: the subset that guards *other* state (``with self.X:`` regions).
+LOCK_TYPES = frozenset({"Lock", "RLock"})
+
+#: tsan factory names (repro.checks.tsan) -> the lock kind they build.
+LOCK_FACTORIES = {"new_lock": "Lock", "new_rlock": "RLock"}
+
+#: method names that mutate their receiver (the write-detection inverse
+#: of ``astutils.PURE_METHODS``).
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "sort", "reverse",
+    "appendleft", "popleft", "set",
+})
+
+#: constructor method names whose writes are publication-safe (the
+#: object is not yet visible to other threads).
+INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _sync_kind(module: ModuleInfo, node: ast.AST) -> Optional[str]:
+    """``threading.X()`` / from-imported ``X()`` / tsan factory -> kind."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        target = module.module_aliases.get(func.value.id)
+        if target in ("threading", "queue") and func.attr in SYNC_TYPES:
+            return func.attr
+        return None
+    if isinstance(func, ast.Name):
+        if func.id in LOCK_FACTORIES:
+            return LOCK_FACTORIES[func.id]
+        imported = module.from_imports.get(func.id)
+        if imported is not None:
+            source, original = imported
+            if source in ("threading", "queue") and original in SYNC_TYPES:
+                return original
+    return None
+
+
+@dataclass
+class Access:
+    """One touch of ``self.<attr>`` with its syntactic lock context."""
+
+    attr: str
+    line: int
+    write: bool
+    held: FrozenSet[str]
+
+
+@dataclass
+class Acquire:
+    """One ``with self.<lock>:`` entry, with the locks already held."""
+
+    lock: str
+    line: int
+    held: FrozenSet[str]
+
+
+@dataclass
+class Blocking:
+    """A call that can block (I/O, join, sleep) and its lock context."""
+
+    what: str
+    line: int
+    held: FrozenSet[str]
+
+
+@dataclass
+class OwnCall:
+    """A same-class method call and the locks held at the call site."""
+
+    callee: str
+    line: int
+    held: FrozenSet[str]
+
+
+@dataclass
+class MethodFacts:
+    """Everything the concurrency passes need about one method body."""
+
+    name: str
+    accesses: List[Access] = field(default_factory=list)
+    acquires: List[Acquire] = field(default_factory=list)
+    blocking: List[Blocking] = field(default_factory=list)
+    calls: List[OwnCall] = field(default_factory=list)
+
+
+#: blocking call names recognized on any receiver (network round trips).
+_BLOCKING_ATTRS = frozenset({
+    "request", "getresponse", "urlopen", "connect",
+    "create_connection", "recv", "accept", "serve_forever",
+})
+
+#: (module, function) pairs that block when called as bare names.
+_BLOCKING_IMPORTS = {
+    ("time", "sleep"), ("concurrent.futures", "wait"),
+    ("subprocess", "run"), ("subprocess", "call"),
+    ("subprocess", "check_call"), ("subprocess", "check_output"),
+    ("socket", "create_connection"),
+}
+
+#: dotted module calls that block (``time.sleep(...)``, ``subprocess.*``).
+_BLOCKING_MODULES = {"subprocess"}
+
+
+class _FactWalker:
+    """One pass over a method body, tracking ``with self.<lock>:`` depth.
+
+    Mirrors the shape of :class:`astutils._MethodAnalyzer` but carries
+    the held-lock context through every statement, classifies accesses
+    as read vs write, and records acquisitions/blocking calls for the
+    ordering pass.  Only direct ``self.<attr>`` chains are tracked —
+    local aliases are a read at the binding site, which is all the
+    discipline check needs.
+    """
+
+    def __init__(self, module: ModuleInfo, lock_attrs: Set[str],
+                 class_methods: Set[str], method_name: str):
+        self.module = module
+        self.lock_attrs = lock_attrs
+        self.class_methods = class_methods
+        self.facts = MethodFacts(method_name)
+        self.held: Tuple[str, ...] = ()
+        #: local Name -> sync kind, for ``t = threading.Thread(...)``.
+        self.local_sync: Dict[str, str] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def _held(self) -> FrozenSet[str]:
+        return frozenset(self.held)
+
+    def _access(self, attr: str, line: int, write: bool) -> None:
+        self.facts.accesses.append(Access(attr, line, write, self._held()))
+
+    def _blocking(self, what: str, line: int) -> None:
+        self.facts.blocking.append(Blocking(what, line, self._held()))
+
+    # -- expressions -------------------------------------------------------
+
+    def _self_attr(self, node: ast.AST) -> Optional[str]:
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return node.attr
+        return None
+
+    def _attr_root(self, node: ast.AST) -> Optional[ast.Attribute]:
+        """The ``self.<attr>`` at the base of an attr/subscript chain,
+        unwrapping through calls (``self.x.setdefault(...)['k']``)."""
+        while True:
+            if isinstance(node, (ast.Attribute, ast.Subscript)) \
+                    and self._self_attr(node) is None:
+                node = node.value
+            elif isinstance(node, ast.Call):
+                node = node.func
+            else:
+                break
+        if isinstance(node, ast.Attribute) \
+                and self._self_attr(node) is not None:
+            return node
+        return None
+
+    def _expr(self, node: Optional[ast.AST]) -> None:
+        """Record reads/calls in an expression tree (value position)."""
+        if node is None or isinstance(node, (ast.Constant, ast.Lambda)):
+            return
+        if isinstance(node, ast.Call):
+            self._call(node)
+            return
+        attr = self._self_attr(node)
+        if attr is not None:
+            self._access(attr, node.lineno, write=False)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._expr(child)
+
+    def _dotted(self, node: ast.AST) -> Optional[Tuple[str, ...]]:
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return tuple(reversed(parts))
+        return None
+
+    def _is_blocking_call(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            imported = self.module.from_imports.get(func.id)
+            if imported in _BLOCKING_IMPORTS:
+                return ".".join(imported)
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        dotted = self._dotted(func)
+        if dotted is not None and len(dotted) >= 2:
+            target = self.module.module_aliases.get(dotted[0])
+            if target in _BLOCKING_MODULES:
+                return f"{target}.{func.attr}"
+            if target == "time" and func.attr == "sleep":
+                return "time.sleep"
+        if func.attr in _BLOCKING_ATTRS:
+            return func.attr
+        if func.attr in ("join", "wait"):
+            # only when the receiver is identifiably a thread/event —
+            # ``", ".join(...)`` and ``os.path.join`` must not trip this
+            receiver = func.value
+            attr = self._self_attr(receiver)
+            if attr is not None:
+                return func.attr  # self-attr sync receivers filtered later
+            if isinstance(receiver, ast.Name) \
+                    and receiver.id in self.local_sync:
+                return func.attr
+        return None
+
+    def _call(self, node: ast.Call) -> None:
+        func = node.func
+        blocking = self._is_blocking_call(node)
+        if blocking is not None:
+            receiver_attr = None
+            if isinstance(func, ast.Attribute):
+                receiver_attr = self._self_attr(func.value)
+            # `.join`/`.wait` on self attrs is resolved by the caller
+            # (it knows which attrs are threads/events); tag it
+            self._blocking(blocking if receiver_attr is None
+                           else f"{blocking}@{receiver_attr}", node.lineno)
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                # ``self.X(...)``: a method call, or invoking a callable
+                # stored in a data attribute (``self.clock()`` — a read)
+                if func.attr in self.class_methods:
+                    self.facts.calls.append(
+                        OwnCall(func.attr, node.lineno, self._held()))
+                else:
+                    self._access(func.attr, node.lineno, write=False)
+            else:
+                attr = self._self_attr(receiver)
+                if attr is not None:
+                    # ``self.<attr>.method(...)``
+                    self._access(attr, node.lineno,
+                                 write=func.attr in MUTATING_METHODS)
+                else:
+                    root = self._attr_root(receiver)
+                    if root is not None:
+                        self._access(root.attr, node.lineno,
+                                     write=func.attr in MUTATING_METHODS)
+                    else:
+                        self._expr(receiver)
+        elif isinstance(func, ast.Name) and func.id in self.class_methods:
+            self.facts.calls.append(
+                OwnCall(func.id, node.lineno, self._held()))
+        for arg in node.args:
+            self._expr(arg)
+        for keyword in node.keywords:
+            self._expr(keyword.value)
+
+    # -- write targets -----------------------------------------------------
+
+    def _target(self, target: ast.AST, line: int) -> None:
+        attr = self._self_attr(target)
+        if attr is not None:
+            self._access(attr, line, write=True)
+            return
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = self._attr_root(target)
+            if root is not None:
+                self._access(root.attr, line, write=True)
+            else:
+                self._expr(target.value)
+            if isinstance(target, ast.Subscript):
+                self._expr(target.slice)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._target(element, line)
+        elif isinstance(target, ast.Starred):
+            self._target(target.value, line)
+        # plain Name targets: local binding, nothing shared touched
+
+    def _bind_local(self, target: ast.AST, value: Optional[ast.AST]) -> None:
+        """Track ``t = threading.Thread(...)`` for `.join` detection."""
+        if isinstance(target, ast.Name) and value is not None:
+            kind = _sync_kind(self.module, value)
+            if kind is not None:
+                self.local_sync[target.id] = kind
+
+    # -- statements --------------------------------------------------------
+
+    def run(self, fn: ast.FunctionDef) -> MethodFacts:
+        self._block(fn.body)
+        return self.facts
+
+    def _block(self, statements: Sequence[ast.stmt]) -> None:
+        for statement in statements:
+            self._statement(statement)
+
+    def _with(self, stmt: ast.With) -> None:
+        pushed = 0
+        for item in stmt.items:
+            attr = self._self_attr(item.context_expr)
+            if attr is not None and attr in self.lock_attrs:
+                self.facts.acquires.append(
+                    Acquire(attr, item.context_expr.lineno, self._held()))
+                self.held = self.held + (attr,)
+                pushed += 1
+            else:
+                self._expr(item.context_expr)
+        self._block(stmt.body)
+        if pushed:
+            self.held = self.held[:-pushed]
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value)
+            for target in stmt.targets:
+                self._target(target, stmt.lineno)
+                self._bind_local(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._expr(stmt.value)
+            self._target(stmt.target, stmt.lineno)
+            self._bind_local(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value)
+            self._target(stmt.target, stmt.lineno)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._target(target, stmt.lineno)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            self._expr(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._expr(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            self._expr(stmt.iter)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+        elif isinstance(stmt, ast.With):
+            self._with(stmt)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                self._expr(child)
+        # nested defs/imports/pass: nothing shared
+
+
+# -- the per-class concurrency model ---------------------------------------
+
+
+@dataclass
+class ClassModel:
+    """The concurrency shape of one class (over its full MRO)."""
+
+    cls: ClassInfo
+    #: attribute -> sync kind, from init-method constructions.
+    sync_attrs: Dict[str, str] = field(default_factory=dict)
+    #: attributes the class itself ever assigns (incl. dataclass fields).
+    known_attrs: Set[str] = field(default_factory=set)
+    #: methods that run on a spawned thread (Thread targets, run()).
+    entry_methods: Set[str] = field(default_factory=set)
+    #: method name -> facts, for every MRO-defined method.
+    facts: Dict[str, MethodFacts] = field(default_factory=dict)
+    #: method name -> (defining module, function node).
+    defined_in: Dict[str, Tuple[ModuleInfo, ast.FunctionDef]] = \
+        field(default_factory=dict)
+    #: method name -> locks guaranteed held on entry (propagated from
+    #: call sites for underscore-private helpers).
+    entry_held: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    handler_class: bool = False
+
+    @property
+    def lock_attrs(self) -> Set[str]:
+        return {attr for attr, kind in self.sync_attrs.items()
+                if kind in LOCK_TYPES}
+
+    def reentrant(self, lock: str) -> bool:
+        return self.sync_attrs.get(lock) == "RLock"
+
+
+def _is_self_method(fn: ast.FunctionDef) -> bool:
+    args = fn.args.posonlyargs + fn.args.args
+    return bool(args) and args[0].arg == "self"
+
+
+def build_class_model(index: ProjectIndex, cls: ClassInfo) -> ClassModel:
+    """Collect sync attributes, thread entries and per-method facts.
+
+    Memoized on the index: the discipline, ordering and unjoined checks
+    all consume the same model, and the fact walk is the expensive part
+    of these passes.
+    """
+    cache: Dict[int, ClassModel] = index.__dict__.setdefault(
+        "_concurrency_models", {})
+    cached = cache.get(id(cls))
+    if cached is not None:
+        return cached
+    model = ClassModel(cls)
+    cache[id(cls)] = model
+    mro = index.mro(cls)
+    model.handler_class = any("BaseHTTPRequestHandler" in c.bases
+                              or c.name == "BaseHTTPRequestHandler"
+                              for c in mro)
+    thread_subclass = any("Thread" in c.bases for c in mro)
+    method_names = index.all_method_names(cls)
+
+    # dataclass-style class-level fields are constructor-assigned attrs
+    for candidate in mro:
+        for node in candidate.node.body:
+            if isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name):
+                model.known_attrs.add(node.target.id)
+
+    for name in method_names:
+        found = index.find_method(cls, name)
+        if found is None:
+            continue
+        owner, fn = found
+        if not _is_self_method(fn):
+            continue
+        model.defined_in[name] = (owner.module, fn)
+
+    # first sweep: direct self assignments (sync detection needs the
+    # full attr universe before facts are interpreted).  Init methods
+    # are taken from EVERY class in the MRO, not just the resolving
+    # one — a subclass __init__ shadows the base's in `defined_in`,
+    # but `super().__init__()` still runs it, and that is where base
+    # classes construct their locks.
+    sweep: List[Tuple[str, ModuleInfo, ast.FunctionDef]] = [
+        (name, module, fn)
+        for name, (module, fn) in model.defined_in.items()
+    ]
+    seen_inits = {id(fn) for name, _m, fn in sweep
+                  if name in INIT_METHODS}
+    for candidate in mro:
+        for init_name in INIT_METHODS:
+            fn = candidate.methods.get(init_name)
+            if fn is not None and id(fn) not in seen_inits \
+                    and _is_self_method(fn):
+                seen_inits.add(id(fn))
+                sweep.append((init_name, candidate.module, fn))
+    for name, module, fn in sweep:
+        in_init = name in INIT_METHODS
+        for node in ast.walk(fn):
+            value = None
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    model.known_attrs.add(target.attr)
+                    if in_init and value is not None:
+                        kind = _sync_kind(module, value)
+                        if kind is not None:
+                            model.sync_attrs[target.attr] = kind
+            # thread entry points: Thread(target=self.<m>) anywhere
+            if isinstance(node, ast.Call) \
+                    and _sync_kind(module, node) in ("Thread", "Timer"):
+                for keyword in node.keywords:
+                    if keyword.arg == "target":
+                        target_attr = keyword.value
+                        if (isinstance(target_attr, ast.Attribute)
+                                and isinstance(target_attr.value, ast.Name)
+                                and target_attr.value.id == "self"
+                                and target_attr.attr in method_names):
+                            model.entry_methods.add(target_attr.attr)
+
+    if thread_subclass and "run" in model.defined_in:
+        model.entry_methods.add("run")
+    if model.handler_class:
+        model.entry_methods.update(model.defined_in)
+
+    lock_attrs = model.lock_attrs
+    for name, (module, fn) in model.defined_in.items():
+        walker = _FactWalker(module, lock_attrs,
+                             set(method_names), name)
+        model.facts[name] = walker.run(fn)
+
+    _propagate_entry_locks(model)
+    return model
+
+
+def _propagate_entry_locks(model: ClassModel) -> None:
+    """Locks guaranteed held on entry to underscore-private helpers.
+
+    A helper only ever called under ``with self._lock:`` (like
+    ``LeaseBoard._expire``) inherits the lock; the intersection over
+    call sites keeps this sound when one caller is lock-free.  Public
+    methods always assume a lock-free external caller.  Iterated to a
+    fixpoint so ``a -> _b -> _c`` chains propagate.
+    """
+    names = set(model.facts)
+    model.entry_held = {name: frozenset() for name in names}
+    for _ in range(len(names) + 1):
+        changed = False
+        for name in names:
+            if not name.startswith("_") or name in INIT_METHODS:
+                continue
+            sites = [model.entry_held[caller] | call.held
+                     for caller, facts in model.facts.items()
+                     for call in facts.calls if call.callee == name]
+            if not sites:
+                continue
+            combined: FrozenSet[str] = sites[0]
+            for site in sites[1:]:
+                combined = combined & site
+            if combined != model.entry_held[name]:
+                model.entry_held[name] = combined
+                changed = True
+        if not changed:
+            break
+
+
+def entry_closure(model: ClassModel) -> Set[str]:
+    """Entry methods plus everything they transitively call in-class."""
+    seen: Set[str] = set()
+    queue = list(model.entry_methods)
+    while queue:
+        name = queue.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        facts = model.facts.get(name)
+        if facts is not None:
+            queue.extend(call.callee for call in facts.calls)
+    return seen
+
+
+# -- the discipline check --------------------------------------------------
+
+
+def _shared_mutable_attrs(model: ClassModel) -> Set[str]:
+    """Attributes written outside construction, minus sync primitives."""
+    shared: Set[str] = set()
+    for name, facts in model.facts.items():
+        if name in INIT_METHODS:
+            continue
+        for access in facts.accesses:
+            if access.write and access.attr in model.known_attrs \
+                    and access.attr not in model.sync_attrs:
+                shared.add(access.attr)
+    return shared
+
+
+def _effective_held(model: ClassModel, method: str,
+                    held: FrozenSet[str]) -> FrozenSet[str]:
+    return held | model.entry_held.get(method, frozenset())
+
+
+def check_lock_discipline(index: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for cls in index.classes():
+        model = build_class_model(index, cls)
+        if model.handler_class:
+            continue  # handler instances are per-request, thread-confined
+        has_locks = bool(model.lock_attrs)
+        concurrent = (has_locks or model.entry_methods
+                      or "local" in model.sync_attrs.values())
+        if not concurrent:
+            continue
+        shared = _shared_mutable_attrs(model)
+        if not shared:
+            continue
+        closure = entry_closure(model)
+
+        for attr in sorted(shared):
+            # the owning lock: intersection of locks held at write sites
+            writes = [(name, access)
+                      for name, facts in model.facts.items()
+                      if name not in INIT_METHODS
+                      for access in facts.accesses
+                      if access.attr == attr and access.write]
+            reads = [(name, access)
+                     for name, facts in model.facts.items()
+                     if name not in INIT_METHODS
+                     for access in facts.accesses
+                     if access.attr == attr and not access.write]
+            owning: Optional[FrozenSet[str]] = None
+            for name, access in writes:
+                held = _effective_held(model, name, access.held)
+                owning = held if owning is None else (owning & held)
+            if owning:
+                # every access must hold the owning lock(s)
+                for name, access in writes + reads:
+                    held = _effective_held(model, name, access.held)
+                    if not (held & owning):
+                        _emit(findings, seen, model, name, access,
+                              f"`self.{attr}` accessed without "
+                              f"{_lock_names(owning)} which guards its "
+                              f"writes elsewhere in {cls.name}")
+            else:
+                # no write is consistently guarded: in a concurrent
+                # class that is a finding per unguarded write site
+                has_sync = has_locks \
+                    or "local" in model.sync_attrs.values()
+                if not has_sync and not _crosses_thread(
+                        model, attr, closure, writes, reads):
+                    continue
+                for name, access in writes:
+                    held = _effective_held(model, name, access.held)
+                    if not held:
+                        _emit(findings, seen, model, name, access,
+                              f"`self.{attr}` written with no lock held "
+                              f"in {cls.name}, which "
+                              + ("owns locks" if has_locks else
+                                 "carries per-thread state" if has_sync
+                                 else "runs its own threads"))
+                if not has_sync:
+                    for name, access in reads:
+                        _emit(findings, seen, model, name, access,
+                              f"`self.{attr}` read lock-free in "
+                              f"{cls.name} while another thread "
+                              f"mutates it")
+    return sorted(findings)
+
+
+def _crosses_thread(model: ClassModel, attr: str, closure: Set[str],
+                    writes, reads) -> bool:
+    """In a lock-free class: does the attr cross the thread boundary?"""
+    touched_by_entry = any(name in closure for name, _ in writes + reads)
+    touched_outside = any(name not in closure for name, _ in writes + reads)
+    return touched_by_entry and touched_outside
+
+
+def _lock_names(locks: FrozenSet[str]) -> str:
+    return " / ".join(f"`self.{name}`" for name in sorted(locks))
+
+
+def _emit(findings: List[Finding], seen: Set[Tuple[str, int, str]],
+          model: ClassModel, method: str, access: Access,
+          message: str) -> None:
+    module, _fn = model.defined_in[method]
+    key = (module.display, access.line, access.attr)
+    if key in seen:
+        return
+    seen.add(key)
+    findings.append(Finding(module.display, access.line,
+                            "lock-unguarded-shared",
+                            f"{message} (in `{method}`)"))

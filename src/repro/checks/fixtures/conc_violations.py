@@ -1,0 +1,67 @@
+"""Seeded lock-discipline violations — parsed by the selftest, never run."""
+
+import threading
+
+
+class SharedCounter:
+    """All writes guarded by ``self._lock``; one read escapes it, and a
+    second attribute is mutated with no lock at all."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.rate = 0.0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def peek(self):
+        return self.count  # expect: lock-unguarded-shared
+
+    def set_rate(self, value):
+        self.rate = value  # expect: lock-unguarded-shared
+
+
+class TwoLocks:
+    """Consistently guarded writes, but one reader takes the wrong lock."""
+
+    def __init__(self):
+        self._alpha = threading.Lock()
+        self._beta = threading.Lock()
+        self.items = {}
+
+    def put(self, key, value):
+        with self._alpha:
+            self.items[key] = value
+
+    def evict(self, key):
+        with self._alpha:
+            self.items.pop(key, None)
+
+    def wrong_lock_read(self, key):
+        with self._beta:
+            return self.items.get(key)  # expect: lock-unguarded-shared
+
+
+class NoLockWorker:
+    """Lock-free thread spawner whose results list crosses the thread
+    boundary: mutated on the worker thread, harvested on the caller's."""
+
+    def __init__(self):
+        self.results = []
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self):
+        self._thread.start()
+
+    def _run(self):
+        self.results.append(1)  # expect: lock-unguarded-shared
+
+    def harvest(self):
+        out = list(self.results)  # expect: lock-unguarded-shared
+        self.results.clear()  # expect: lock-unguarded-shared
+        return out
+
+    def stop(self):
+        self._thread.join()

@@ -1,0 +1,77 @@
+"""Seeded lock-ordering / deadlock violations — parsed, never run."""
+
+import threading
+import time
+
+
+class AbbaPair:
+    """The classic ABBA deadlock: two locks taken in opposite orders."""
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.jobs = []
+        self.results = []
+
+    def forward(self):
+        with self._a:
+            with self._b:  # expect: lock-order-cycle
+                self.jobs.append(1)
+
+    def backward(self):
+        with self._b:
+            with self._a:  # expect: lock-order-cycle
+                self.results.append(1)
+
+
+class SleepyHolder:
+    """Blocking operation reached while a lock is held."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = {}
+
+    def tick(self):
+        with self._lock:
+            time.sleep(0.1)  # expect: lock-blocking-call
+            self.state["t"] = 1
+
+
+class Reacquirer:
+    """Non-reentrant lock re-acquired through a same-class call chain."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, amount):
+        with self._lock:
+            self._bump(amount)  # expect: lock-order-cycle
+
+    def _bump(self, amount):
+        with self._lock:  # expect: lock-order-cycle
+            self.total += amount
+
+
+class FireAndForget:
+    """Thread attribute started by one method, joined by none."""
+
+    def __init__(self):
+        self._worker = threading.Thread(target=self._run, daemon=True)
+        self.log = []
+
+    def launch(self):
+        self._worker.start()  # expect: thread-unjoined
+
+    def _run(self):
+        self.log.append("tick")
+
+
+def run_batch(items):
+    worker = threading.Thread(target=print, args=(items,))  # expect: thread-unjoined
+    worker.start()
+    return len(items)
+
+
+def fire_anonymous(fn):
+    threading.Thread(target=fn, daemon=True).start()  # expect: thread-unjoined

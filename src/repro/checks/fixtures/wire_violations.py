@@ -1,0 +1,74 @@
+"""Seeded wire-protocol drift — client/server halves on purpose out of
+sync.  Parsed by the selftest, never run."""
+
+import json
+from http.server import BaseHTTPRequestHandler
+
+
+class MiniHandler(BaseHTTPRequestHandler):
+    def do_GET(self):
+        parts = self.path.strip("/").split("/")
+        if len(parts) == 2 and parts[0] == "jobs":
+            job = parts[1]
+            if job == "gone":
+                self.send_json(302, {"moved": True})  # expect: wire-status-unhandled
+                return
+            self.send_json(200, {"job": job})
+            return
+        if parts[0] == "queue" and parts[1:] == ["drain"]:  # expect: wire-endpoint-unused
+            self.send_json(200, {"drained": True})
+            return
+        self.send_json(404, {"error": "no route"})
+
+    def do_POST(self):
+        parts = self.path.strip("/").split("/")
+        payload = json.loads(self.read_body())
+        if len(parts) == 1 and parts[0] == "jobs":
+            name = payload.get("name")
+            retries = payload.get("retries", 0)  # expect: wire-field-unsent
+            self.send_json(201, {"queued": name, "retries": retries})
+            return
+        self.send_json(404, {"error": "no route"})
+
+    def read_body(self):
+        length = int(self.headers.get("Content-Length", 0))
+        return self.rfile.read(length)
+
+    def send_json(self, code, obj):
+        self.send_response(code)
+        self.end_headers()
+        self.wfile.write(json.dumps(obj).encode("utf-8"))
+
+
+class MiniClient:
+    def __init__(self, channel):
+        self.channel = channel
+
+    def fetch(self, job_id):
+        response = self.channel.request("GET", f"/jobs/{job_id}")
+        if response.status == 404:
+            return None
+        if response.status >= 400:
+            raise RuntimeError("coordinator error")
+        return response
+
+    def submit(self, name, priority):
+        body = {"name": name,
+                "priority": priority}  # expect: wire-field-unread
+        return self.channel.request("POST", "/jobs", body)
+
+    def cancel(self, job_id):
+        return self.channel.request(
+            "DELETE", f"/jobs/{job_id}")  # expect: wire-endpoint-unhandled
+
+
+def job_to_dict(job):
+    return {"id": job.id,
+            "priority": job.priority,  # expect: wire-spec-drift
+            "state": job.state}
+
+
+def job_from_dict(data):
+    return {"id": data["id"],
+            "state": data.get("state", "new"),
+            "retries": data.get("retries", 0)}  # expect: wire-spec-drift

@@ -1,0 +1,348 @@
+"""Lock-ordering / deadlock lint over the may-acquire graph.
+
+Built on the per-class concurrency model from :mod:`.concurrency`, this
+pass hunts the three ways the distributed layer could stop making
+progress rather than compute the wrong answer:
+
+* ``lock-order-cycle`` — two locks ever acquired in opposite orders
+  (classic ABBA deadlock), or a non-reentrant ``threading.Lock``
+  re-acquired through a same-class call chain (instant self-deadlock:
+  the thread waits on itself).  Edges come from nested ``with`` blocks
+  *and* from calls made while holding a lock, closed transitively over
+  same-class methods, so ``seed() -> with self._a: self._helper()``
+  where ``_helper`` takes ``self._b`` contributes an ``_a -> _b`` edge.
+* ``lock-blocking-call`` — a blocking operation (HTTP round trip,
+  ``time.sleep``, ``subprocess``, a thread ``join`` or event ``wait``)
+  reached while a lock is held.  One slow peer then stalls every thread
+  that needs the lock — the precise failure mode the lease board's
+  "snapshot under the lock, do I/O outside it" structure exists to
+  avoid, so regressions should fail CI.
+* ``thread-unjoined`` — a thread started but never joined: ``self.X``
+  threads with a ``start()`` but no ``join`` anywhere in the class, and
+  function-local threads that neither join nor escape the function
+  (escaping threads are someone else's to join, like the worker handles
+  the dispatch tests hold on to).
+
+Scope note: the acquire graph is per *class*.  Cross-object chains
+(a ``LeaseBoard`` method calling into a ``DirectoryStore`` that takes
+its own lock) are invisible to name-based static analysis; the
+``REPRO_TSAN=1`` sanitizer (:mod:`.tsan`) checks exactly those at
+runtime with a global acquisition-order graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .astutils import ModuleInfo, ProjectIndex
+from .concurrency import (
+    ClassModel,
+    MethodFacts,
+    _sync_kind,
+    build_class_model,
+)
+from .findings import Finding
+
+#: sync kinds whose ``.join`` blocks (threads) / whose ``.wait`` blocks.
+_JOINABLE = frozenset({"Thread", "Timer"})
+_WAITABLE = frozenset({"Event", "Condition", "Barrier", "Semaphore",
+                       "BoundedSemaphore"})
+
+
+def _resolved_blocking(model: ClassModel, what: str) -> Optional[str]:
+    """A walker blocking tag -> human description, or None if benign.
+
+    ``join``/``wait`` tags carry their receiver attribute
+    (``join@_thread``); they only block when the attribute is a
+    thread/event, which keeps ``self.sep.join(...)`` quiet.
+    """
+    base, _, attr = what.partition("@")
+    if not attr:
+        return base
+    kind = model.sync_attrs.get(attr)
+    if base == "join":
+        return f"self.{attr}.join" if kind in _JOINABLE else None
+    if base == "wait":
+        return f"self.{attr}.wait" if kind in _WAITABLE else None
+    return f"self.{attr}.{base}"
+
+
+def _acquire_closure(model: ClassModel) -> Dict[str, Set[str]]:
+    """Method -> locks it may acquire, transitively over own calls."""
+    closure: Dict[str, Set[str]] = {
+        name: {acquire.lock for acquire in facts.acquires}
+        for name, facts in model.facts.items()
+    }
+    for _ in range(len(closure) + 1):
+        changed = False
+        for name, facts in model.facts.items():
+            for call in facts.calls:
+                extra = closure.get(call.callee, set()) - closure[name]
+                if extra:
+                    closure[name] |= extra
+                    changed = True
+        if not changed:
+            break
+    return closure
+
+
+def _blocking_closure(model: ClassModel) -> Dict[str, Optional[str]]:
+    """Method -> one blocking op it may reach (transitively), if any."""
+    closure: Dict[str, Optional[str]] = {}
+    for name, facts in model.facts.items():
+        closure[name] = next(
+            (resolved for event in facts.blocking
+             if (resolved := _resolved_blocking(model, event.what))),
+            None)
+    for _ in range(len(closure) + 1):
+        changed = False
+        for name, facts in model.facts.items():
+            if closure[name] is not None:
+                continue
+            for call in facts.calls:
+                reached = closure.get(call.callee)
+                if reached is not None:
+                    closure[name] = f"{reached} (via self.{call.callee})"
+                    changed = True
+                    break
+        if not changed:
+            break
+    return closure
+
+
+def _reachable(edges: Dict[str, Set[str]], start: str, goal: str) -> bool:
+    seen: Set[str] = set()
+    queue = [start]
+    while queue:
+        node = queue.pop()
+        if node == goal:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        queue.extend(edges.get(node, ()))
+    return False
+
+
+def check_lock_ordering(index: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for cls in index.classes():
+        model = build_class_model(index, cls)
+        if model.handler_class:
+            continue
+        _check_class(index, model, findings, seen)
+    findings.extend(_check_unjoined(index))
+    return sorted(set(findings))
+
+
+def _check_class(index: ProjectIndex, model: ClassModel,
+                 findings: List[Finding],
+                 seen: Set[Tuple[str, int, str]]) -> None:
+    if not model.lock_attrs and not any(
+            facts.blocking for facts in model.facts.values()):
+        return
+    acquire_closure = _acquire_closure(model)
+    blocking_closure = _blocking_closure(model)
+
+    #: lock -> lock edges with the sites that witness them.
+    edges: Dict[str, Set[str]] = {}
+    sites: Dict[Tuple[str, str], List[Tuple[str, int, str]]] = {}
+
+    def edge(held: FrozenSet[str], lock: str, method: str, line: int,
+             how: str) -> None:
+        for outer in held:
+            if outer == lock:
+                continue
+            edges.setdefault(outer, set()).add(lock)
+            sites.setdefault((outer, lock), []).append((method, line, how))
+
+    def emit(module: ModuleInfo, line: int, rule: str, msg: str) -> None:
+        key = (module.display, line, rule)
+        if key not in seen:
+            seen.add(key)
+            findings.append(Finding(module.display, line, rule, msg))
+
+    for name, facts in model.facts.items():
+        module, _fn = model.defined_in[name]
+        entry = model.entry_held.get(name, frozenset())
+        for acquire in facts.acquires:
+            held = acquire.held | entry
+            edge(held, acquire.lock, name, acquire.line, "nested with")
+            if acquire.lock in held \
+                    and not model.reentrant(acquire.lock):
+                emit(module, acquire.line, "lock-order-cycle",
+                     f"non-reentrant `self.{acquire.lock}` re-acquired "
+                     f"while already held in `{name}` "
+                     f"({model.cls.name}); the thread deadlocks on "
+                     f"itself — use threading.RLock or restructure")
+        for call in facts.calls:
+            held = call.held | entry
+            if not held:
+                continue
+            for lock in acquire_closure.get(call.callee, ()):
+                edge(held, lock, name, call.line,
+                     f"call to self.{call.callee}")
+                if lock in held and not model.reentrant(lock):
+                    emit(module, call.line, "lock-order-cycle",
+                         f"`self.{call.callee}` re-acquires non-"
+                         f"reentrant `self.{lock}` already held at "
+                         f"this call site in `{name}` "
+                         f"({model.cls.name})")
+        for event in facts.blocking:
+            held = event.held | entry
+            if not held:
+                continue
+            resolved = _resolved_blocking(model, event.what)
+            if resolved is None:
+                continue
+            module, _fn = model.defined_in[name]
+            emit(module, event.line, "lock-blocking-call",
+                 f"blocking `{resolved}` while holding "
+                 f"{_names(held)} in `{name}` ({model.cls.name}); "
+                 f"move the I/O outside the lock")
+        # blocking reached through a call made under a lock
+        for call in facts.calls:
+            held = call.held | entry
+            if not held:
+                continue
+            reached = blocking_closure.get(call.callee)
+            # only the *callee's* blocking matters here; its direct
+            # events were reported above if this method has any
+            if reached is not None:
+                emit(module, call.line, "lock-blocking-call",
+                     f"`self.{call.callee}` can block ({reached}) and "
+                     f"is called holding {_names(held)} in `{name}` "
+                     f"({model.cls.name})")
+
+    # ABBA: an edge that its reverse direction can also witness
+    for (outer, inner), witnesses in sorted(sites.items()):
+        if _reachable(edges, inner, outer):
+            for method, line, how in witnesses:
+                module, _fn = model.defined_in[method]
+                emit(module, line, "lock-order-cycle",
+                     f"`self.{outer}` -> `self.{inner}` ({how} in "
+                     f"`{method}`, {model.cls.name}) participates in an "
+                     f"acquisition cycle: the opposite order is also "
+                     f"taken, so two threads can deadlock")
+
+
+def _names(locks: FrozenSet[str]) -> str:
+    return " / ".join(f"`self.{name}`" for name in sorted(locks))
+
+
+# -- unjoined threads ------------------------------------------------------
+
+
+def _is_start_of(node: ast.Call, attr: str) -> bool:
+    func = node.func
+    return (isinstance(func, ast.Attribute) and func.attr == "start"
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+            and func.value.attr == attr)
+
+
+def _check_unjoined(index: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in index.modules.values():
+        # self-attr threads: started in some method, joined in none
+        for cls in module.classes.values():
+            model = build_class_model(index, cls)
+            thread_attrs = {attr for attr, kind in model.sync_attrs.items()
+                            if kind in _JOINABLE}
+            for attr in sorted(thread_attrs):
+                start_line: Optional[int] = None
+                joined = False
+                for name, (mod, fn) in model.defined_in.items():
+                    for node in ast.walk(fn):
+                        if isinstance(node, ast.Call) \
+                                and _is_start_of(node, attr):
+                            start_line = start_line or node.lineno
+                        if (isinstance(node, ast.Attribute)
+                                and node.attr == "join"
+                                and isinstance(node.value, ast.Attribute)
+                                and isinstance(node.value.value, ast.Name)
+                                and node.value.value.id == "self"
+                                and node.value.attr == attr):
+                            joined = True
+                if start_line is not None and not joined:
+                    findings.append(Finding(
+                        module.display, start_line, "thread-unjoined",
+                        f"`self.{attr}` ({cls.name}) is started but no "
+                        f"method ever joins it; give shutdown a join "
+                        f"path"))
+        # function-local threads that neither join nor escape
+        for fn in _all_functions(module.tree):
+            findings.extend(_local_unjoined(module, fn))
+    return findings
+
+
+def _all_functions(tree: ast.Module) -> List[ast.FunctionDef]:
+    return [node for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)]
+
+
+def _local_unjoined(module: ModuleInfo,
+                    fn: ast.FunctionDef) -> List[Finding]:
+    findings: List[Finding] = []
+    threads: Dict[str, int] = {}      # local name -> construction line
+    started: Dict[str, int] = {}      # local name -> start() line
+    joined: Set[str] = set()
+    escaped: Set[str] = set()
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and _sync_kind(module, node.value) in _JOINABLE:
+            threads[node.targets[0].id] = node.lineno
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and isinstance(func.value, ast.Name):
+                if func.attr == "start":
+                    started.setdefault(func.value.id, node.lineno)
+                elif func.attr == "join":
+                    joined.add(func.value.id)
+            # anonymous `threading.Thread(...).start()` can never join
+            if isinstance(func, ast.Attribute) and func.attr == "start" \
+                    and _sync_kind(module, func.value) in _JOINABLE:
+                findings.append(Finding(
+                    module.display, node.lineno, "thread-unjoined",
+                    f"thread constructed and started in one expression "
+                    f"in `{fn.name}`; nothing can ever join it"))
+            # a thread passed to another call escapes this function
+            for arg in list(node.args) + [k.value for k in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id in threads \
+                        and not (isinstance(func, ast.Attribute)
+                                 and func.value is arg):
+                    escaped.add(arg.id)
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = node.value
+            for name in _names_in(value):
+                escaped.add(name)
+        elif isinstance(node, ast.Assign):
+            # stored into an attribute/subscript/container: escapes
+            if any(not isinstance(t, ast.Name) for t in node.targets):
+                for name in _names_in(node.value):
+                    escaped.add(name)
+        elif isinstance(node, (ast.List, ast.Tuple, ast.Dict, ast.Set)):
+            for name in _names_in(node):
+                if name in threads:
+                    escaped.add(name)
+
+    for name, line in started.items():
+        if name in threads and name not in joined and name not in escaped:
+            findings.append(Finding(
+                module.display, threads[name], "thread-unjoined",
+                f"local thread `{name}` in `{fn.name}` is started but "
+                f"never joined and never escapes the function; it "
+                f"outlives (or hangs) the caller"))
+    return findings
+
+
+def _names_in(node: Optional[ast.AST]) -> Set[str]:
+    if node is None:
+        return set()
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}

@@ -1,19 +1,28 @@
-"""Driver for ``python -m repro check``: build the index, run the four
-passes, apply waivers, and self-test against the seeded fixtures."""
+"""Driver for ``python -m repro check``: build the index, run the
+passes, apply waivers, and self-test against the seeded fixtures.
+
+Every source file is parsed exactly once (into the shared
+:class:`~repro.checks.astutils.ProjectIndex`) and every pass runs over
+that one index; ``--verbose`` prints a per-pass timing line so a pass
+that regresses the gate's speed is visible."""
 
 from __future__ import annotations
 
 import re
+import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .astutils import ProjectIndex, iter_py_files, load_module
+from .concurrency import check_lock_discipline
 from .conformance import check_conformance
 from .determinism import check_determinism
 from .findings import Finding
+from .ordering import check_lock_ordering
 from .snapshots import check_snapshots
 from .symmetry import check_symmetry
 from .waivers import apply_waivers, scan_waivers
+from .wireproto import check_wire_protocol
 
 #: directories never scanned by the default run: the fixtures contain
 #: violations on purpose, and the checker does not lint itself.
@@ -39,12 +48,25 @@ def build_index(root: Optional[Path] = None,
 
 
 def run_passes(index: ProjectIndex,
-               assume_sim: bool = False) -> List[Finding]:
+               assume_sim: bool = False,
+               timings: Optional[List[Tuple[str, float]]] = None
+               ) -> List[Finding]:
+    passes: List[Tuple[str, Callable[[], List[Finding]]]] = [
+        ("determinism",
+         lambda: check_determinism(index, assume_sim=assume_sim)),
+        ("snapshots", lambda: check_snapshots(index)),
+        ("symmetry", lambda: check_symmetry(index)),
+        ("conformance", lambda: check_conformance(index)),
+        ("lock-discipline", lambda: check_lock_discipline(index)),
+        ("lock-ordering", lambda: check_lock_ordering(index)),
+        ("wire-protocol", lambda: check_wire_protocol(index)),
+    ]
     findings: List[Finding] = []
-    findings.extend(check_determinism(index, assume_sim=assume_sim))
-    findings.extend(check_snapshots(index))
-    findings.extend(check_symmetry(index))
-    findings.extend(check_conformance(index))
+    for name, run in passes:
+        started = time.perf_counter()
+        findings.extend(run())
+        if timings is not None:
+            timings.append((name, time.perf_counter() - started))
 
     suppressions: Dict[str, Dict[int, Set[str]]] = {}
     for module in index.modules.values():
@@ -56,10 +78,15 @@ def run_passes(index: ProjectIndex,
 
 def collect_findings(root: Optional[Path] = None,
                      paths: Optional[Sequence[Path]] = None,
-                     assume_sim: bool = False) -> List[Finding]:
+                     assume_sim: bool = False,
+                     timings: Optional[List[Tuple[str, float]]] = None
+                     ) -> List[Finding]:
     """The whole checker: every pass over the tree (or given files)."""
+    started = time.perf_counter()
     index = build_index(root=root, paths=paths)
-    return run_passes(index, assume_sim=assume_sim)
+    if timings is not None:
+        timings.append(("parse+index", time.perf_counter() - started))
+    return run_passes(index, assume_sim=assume_sim, timings=timings)
 
 
 # -- self-test against the seeded fixtures ---------------------------------------

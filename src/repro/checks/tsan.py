@@ -1,0 +1,374 @@
+"""Opt-in runtime sanitizer for the distributed layer (``REPRO_TSAN=1``).
+
+The static passes in :mod:`.concurrency` / :mod:`.ordering` reason about
+locks by *name*, one class at a time.  This module checks the same
+properties dynamically, across objects, while the real test suite runs:
+
+* :func:`new_lock` / :func:`new_rlock` — drop-in lock factories the
+  concurrency classes use.  Plain ``threading`` primitives normally;
+  with ``REPRO_TSAN=1`` in the environment they return
+  :class:`InstrumentedLock`, which keeps a per-thread stack of held
+  locks and a process-global acquisition-order graph.  Acquiring ``B``
+  while holding ``A`` records the edge ``A -> B``; if ``B -> A`` was
+  ever observed (directly or transitively), that is a **lock-order
+  inversion** — two threads interleaving those paths deadlock.
+* :func:`guarded_dict` / :func:`guarded_list` — container proxies bound
+  to the lock that owns them.  Under TSAN every *mutation* asserts the
+  current thread holds that lock; a mutation outside it is a **guard
+  violation** (the runtime twin of ``lock-unguarded-shared``).
+
+Violations are recorded, not raised: the suite runs to completion and
+``tests/test_tsan.py`` asserts :func:`violations` is empty (and that
+injected bugs are caught).  Set ``REPRO_TSAN_RAISE=1`` to fail fast at
+the violation site instead, which gives the offending stack directly.
+
+Everything here is stdlib-only and this module is dependency-free
+inside ``repro`` (the sweep engine imports it, never the reverse), so
+the sanitizer adds no import weight to production runs: with the env
+var unset the factories return bare ``threading`` objects.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+__all__ = [
+    "GuardError",
+    "InstrumentedLock",
+    "LockOrderError",
+    "TsanError",
+    "assert_clean",
+    "guarded_dict",
+    "guarded_list",
+    "new_lock",
+    "new_rlock",
+    "reset",
+    "tsan_enabled",
+    "violations",
+]
+
+
+class TsanError(AssertionError):
+    """Base class for sanitizer violations."""
+
+
+class LockOrderError(TsanError):
+    """Two locks observed in both acquisition orders."""
+
+
+class GuardError(TsanError):
+    """A guarded container mutated without its owning lock held."""
+
+
+def tsan_enabled() -> bool:
+    """Read the switch at call time so tests can flip it per-object."""
+    return os.environ.get("REPRO_TSAN", "") == "1"
+
+
+def _raise_mode() -> bool:
+    return os.environ.get("REPRO_TSAN_RAISE", "") == "1"
+
+
+# -- global sanitizer state ------------------------------------------------
+
+#: guards the order graph and the violation log (never held while a
+#: user lock is being acquired — only around bookkeeping).
+_state_lock = threading.Lock()
+#: acquisition-order edges: name -> names acquired while holding it.
+_order_edges: Dict[str, Set[str]] = {}
+#: first witness of each edge, for the violation message.
+_edge_sites: Dict[Tuple[str, str], str] = {}
+#: recorded violations, in observation order.
+_violations: List[TsanError] = []
+#: per-thread stack of held InstrumentedLock names.
+_held = threading.local()
+
+
+def _held_stack() -> List[str]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = []
+        _held.stack = stack
+    return stack
+
+
+def violations() -> List[TsanError]:
+    """Everything recorded since the last :func:`reset` (a copy)."""
+    with _state_lock:
+        return list(_violations)
+
+
+def reset() -> None:
+    """Clear the order graph and the violation log (between tests)."""
+    with _state_lock:
+        _order_edges.clear()
+        _edge_sites.clear()
+        _violations.clear()
+
+
+def assert_clean() -> None:
+    """Raise the first recorded violation, if any."""
+    recorded = violations()
+    if recorded:
+        summary = "; ".join(str(v) for v in recorded[:5])
+        raise TsanError(
+            f"{len(recorded)} sanitizer violation(s): {summary}")
+
+
+def _record(violation: TsanError) -> None:
+    if _raise_mode():
+        raise violation
+    with _state_lock:
+        _violations.append(violation)
+
+
+def _reaches(start: str, goal: str) -> bool:
+    """Is ``goal`` reachable from ``start`` in the order graph?
+
+    Caller holds ``_state_lock``.
+    """
+    seen: Set[str] = set()
+    queue = [start]
+    while queue:
+        node = queue.pop()
+        if node == goal:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        queue.extend(_order_edges.get(node, ()))
+    return False
+
+
+_ANON = threading.Lock()
+_anon_counter = 0
+
+
+def _auto_name(prefix: str) -> str:
+    global _anon_counter
+    with _ANON:
+        _anon_counter += 1
+        return f"{prefix}#{_anon_counter}"
+
+
+class InstrumentedLock:
+    """A lock proxy recording acquisition order and held-state.
+
+    Wraps a real ``threading.Lock``/``RLock``; supports the context
+    manager protocol and explicit ``acquire``/``release``, which is the
+    full surface the sweep engine uses.
+    """
+
+    def __init__(self, inner, name: Optional[str] = None,
+                 reentrant: bool = False):
+        self._inner = inner
+        self.name = name or _auto_name("lock")
+        self._reentrant = reentrant
+
+    # -- introspection -----------------------------------------------------
+
+    def held_by_me(self) -> bool:
+        return self.name in _held_stack()
+
+    # -- acquisition bookkeeping -------------------------------------------
+
+    def _note_acquire(self) -> None:
+        stack = _held_stack()
+        violation: Optional[LockOrderError] = None
+        if stack:
+            holder = stack[-1]
+            if holder != self.name:
+                with _state_lock:
+                    edge = (holder, self.name)
+                    if edge not in _edge_sites:
+                        _edge_sites[edge] = f"{holder} -> {self.name}"
+                    # adding holder -> self closes a cycle iff holder
+                    # was already reachable *from* self; report only
+                    # the edge that first closes it
+                    if _reaches(self.name, holder) \
+                            and not _reaches(holder, self.name):
+                        violation = LockOrderError(
+                            f"lock-order inversion: acquired "
+                            f"{self.name!r} while holding {holder!r}, "
+                            f"but the opposite order "
+                            f"{self.name} -> {holder} was also "
+                            f"observed")
+                        if not _raise_mode():
+                            _violations.append(violation)
+                    _order_edges.setdefault(holder, set()).add(self.name)
+        stack.append(self.name)
+        if violation is not None and _raise_mode():
+            raise violation
+
+    def _note_release(self) -> None:
+        stack = _held_stack()
+        if self.name in stack:
+            # remove the innermost occurrence (RLock re-entry safe)
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] == self.name:
+                    del stack[i]
+                    break
+
+    # -- lock protocol -----------------------------------------------------
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._note_acquire()
+        return acquired
+
+    def release(self) -> None:
+        self._note_release()
+        self._inner.release()
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+
+def new_lock(name: Optional[str] = None
+             ) -> Union[threading.Lock, InstrumentedLock]:
+    """A mutex; instrumented under ``REPRO_TSAN=1``."""
+    inner = threading.Lock()
+    if not tsan_enabled():
+        return inner
+    return InstrumentedLock(inner, name, reentrant=False)
+
+
+def new_rlock(name: Optional[str] = None
+              ) -> Union[threading.RLock, InstrumentedLock]:
+    """A re-entrant mutex; instrumented under ``REPRO_TSAN=1``."""
+    inner = threading.RLock()
+    if not tsan_enabled():
+        return inner
+    return InstrumentedLock(inner, name, reentrant=True)
+
+
+# -- guarded containers ----------------------------------------------------
+
+
+def _check_guard(lock, what: str, op: str) -> None:
+    if isinstance(lock, InstrumentedLock) and not lock.held_by_me():
+        _record(GuardError(
+            f"guard violation: {op} on {what} without holding "
+            f"{lock.name!r}"))
+
+
+class GuardedDict(dict):
+    """A dict whose mutations must happen under its owning lock."""
+
+    def __init__(self, lock, name: str, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._tsan_lock = lock
+        self._tsan_name = name
+
+    def _tsan_check(self, op: str) -> None:
+        _check_guard(self._tsan_lock, self._tsan_name, op)
+
+    def __setitem__(self, key, value):
+        self._tsan_check("__setitem__")
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key):
+        self._tsan_check("__delitem__")
+        super().__delitem__(key)
+
+    def pop(self, *args):
+        self._tsan_check("pop")
+        return super().pop(*args)
+
+    def popitem(self):
+        self._tsan_check("popitem")
+        return super().popitem()
+
+    def clear(self):
+        self._tsan_check("clear")
+        super().clear()
+
+    def update(self, *args, **kwargs):
+        self._tsan_check("update")
+        super().update(*args, **kwargs)
+
+    def setdefault(self, key, default=None):
+        self._tsan_check("setdefault")
+        return super().setdefault(key, default)
+
+
+class GuardedList(list):
+    """A list whose mutations must happen under its owning lock."""
+
+    def __init__(self, lock, name: str, iterable: Iterable = ()):
+        super().__init__(iterable)
+        self._tsan_lock = lock
+        self._tsan_name = name
+
+    def _tsan_check(self, op: str) -> None:
+        _check_guard(self._tsan_lock, self._tsan_name, op)
+
+    def append(self, value):
+        self._tsan_check("append")
+        super().append(value)
+
+    def extend(self, iterable):
+        self._tsan_check("extend")
+        super().extend(iterable)
+
+    def insert(self, index, value):
+        self._tsan_check("insert")
+        super().insert(index, value)
+
+    def pop(self, index=-1):
+        self._tsan_check("pop")
+        return super().pop(index)
+
+    def remove(self, value):
+        self._tsan_check("remove")
+        super().remove(value)
+
+    def clear(self):
+        self._tsan_check("clear")
+        super().clear()
+
+    def sort(self, **kwargs):
+        self._tsan_check("sort")
+        super().sort(**kwargs)
+
+    def reverse(self):
+        self._tsan_check("reverse")
+        super().reverse()
+
+    def __setitem__(self, index, value):
+        self._tsan_check("__setitem__")
+        super().__setitem__(index, value)
+
+    def __delitem__(self, index):
+        self._tsan_check("__delitem__")
+        super().__delitem__(index)
+
+    def __iadd__(self, iterable):
+        self._tsan_check("__iadd__")
+        super().extend(iterable)
+        return self
+
+
+def guarded_dict(lock, name: str, *args, **kwargs) -> dict:
+    """A dict owned by ``lock``; a plain dict when TSAN is off."""
+    if isinstance(lock, InstrumentedLock):
+        return GuardedDict(lock, name, *args, **kwargs)
+    return dict(*args, **kwargs)
+
+
+def guarded_list(lock, name: str, iterable: Iterable = ()) -> list:
+    """A list owned by ``lock``; a plain list when TSAN is off."""
+    if isinstance(lock, InstrumentedLock):
+        return GuardedList(lock, name, iterable)
+    return list(iterable)

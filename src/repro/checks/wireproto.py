@@ -1,0 +1,668 @@
+"""Wire-protocol conformance: client builders vs server handlers.
+
+The store/coordinator protocol is hand-rolled on both sides —
+``HttpStore``/``CoordinatorClient`` build requests with f-string paths
+and dict-literal payloads, ``_StoreHandler`` routes them with
+``parts[i] == "lit"`` comparisons and reads payloads with
+``payload.get("field")``.  Nothing but convention keeps the two sides
+in sync, so drift shows up as a runtime 400/404 on a live cluster.
+This pass recovers both halves from the AST and diffs them:
+
+* **endpoints** — every client ``(verb, path-template)`` must match a
+  route some handler tests for, and every route must have a client
+  (``wire-endpoint-unhandled`` / ``wire-endpoint-unused``); f-string
+  holes and unconstrained ``parts[i]`` positions are wildcards.
+* **payload fields** — dict-literal keys a client sends must be read
+  by a matching handler branch, and ``payload.get(...)`` keys a
+  handler reads must be sent (``wire-field-unread`` /
+  ``wire-field-unsent``).  Either side going through an opaque object
+  (``json.dumps(entry)``, ``payload`` passed whole to a validator)
+  turns the comparison off for that endpoint — over-approximation
+  would manufacture findings.
+* **status codes** — every literal code a handler sends must be
+  distinguishable from success by some client comparison: a literal
+  mention, or a range test (``>= 400``) that is true for the code and
+  false for 200 (``wire-status-unhandled``).
+* **dict round-trips** — module-level ``X_to_dict``/``X_from_dict``
+  pairs must write and read the same literal keys
+  (``wire-spec-drift``), unless a side uses dynamic keys.
+
+The comparison is a *global union*: all clients in the scanned set vs
+all handlers.  Both sides must be in scope (the default scan and the CI
+explicit-paths run include ``store.py`` + ``dispatch.py`` together);
+with only one side present the endpoint diff stays silent rather than
+declaring everything unused.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .astutils import ModuleInfo, ProjectIndex, dotted_parts
+from .findings import Finding
+
+WILD = "*"
+
+_HTTP_VERBS = frozenset({"GET", "PUT", "POST", "DELETE", "HEAD",
+                         "PATCH", "OPTIONS"})
+_HOLE = "\x00"  # f-string interpolation marker inside a rebuilt path
+
+#: success-family codes a client never needs to single out.
+_SUCCESS = frozenset({200, 201, 204})
+
+
+@dataclass
+class ClientCall:
+    """One ``request("VERB", path, payload)`` site."""
+
+    verb: str
+    segments: Tuple[str, ...]
+    module: ModuleInfo
+    line: int
+    #: field -> line of the dict-literal key; None = opaque payload.
+    fields: Optional[Dict[str, int]]
+
+
+@dataclass
+class ServerRoute:
+    """One route a ``do_<VERB>`` handler tests for."""
+
+    verb: str
+    segments: Tuple[str, ...]
+    module: ModuleInfo
+    line: int
+    #: field -> line read in this route's branch; None = opaque body use.
+    reads: Optional[Dict[str, int]]
+
+
+@dataclass
+class StatusModel:
+    """Codes handlers send, and how clients discriminate status."""
+
+    sends: List[Tuple[int, ModuleInfo, int]] = field(default_factory=list)
+    literals: Set[int] = field(default_factory=set)
+    ranges: List[Tuple[str, int]] = field(default_factory=list)
+
+    def handled(self, code: int) -> bool:
+        if code in _SUCCESS or code in self.literals:
+            return True
+        ops = {"Gt": lambda c, n: c > n, "GtE": lambda c, n: c >= n,
+               "Lt": lambda c, n: c < n, "LtE": lambda c, n: c <= n}
+        for op, bound in self.ranges:
+            pred = ops[op]
+            if pred(code, bound) and not pred(200, bound):
+                return True
+        return False
+
+
+def _path_segments(template: str) -> Tuple[Tuple[str, ...], List[str]]:
+    """A path template (holes as ``_HOLE``) -> (segments, query params)."""
+    path, _, query = template.partition("?")
+    path = path.strip("/")
+    segments = tuple(
+        WILD if _HOLE in token else token
+        for token in (path.split("/") if path else [])
+    )
+    params = re.findall(r"(\w+)=", query)
+    return segments, params
+
+
+def _template_of(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            else:
+                parts.append(_HOLE)
+        return "".join(parts)
+    return None
+
+
+def _compatible(a: Sequence[str], b: Sequence[str]) -> bool:
+    return len(a) == len(b) and all(
+        x == WILD or y == WILD or x == y for x, y in zip(a, b))
+
+
+# -- client side -----------------------------------------------------------
+
+
+def _collect_clients(index: ProjectIndex) -> List[ClientCall]:
+    calls: List[ClientCall] = []
+    for module in index.modules.values():
+        for fn in (node for node in ast.walk(module.tree)
+                   if isinstance(node, ast.FunctionDef)):
+            local_dicts = _local_dicts(fn)
+            for node in ast.walk(fn):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in ("request", "_request")
+                        and node.args):
+                    continue
+                verb_node = node.args[0]
+                if not (isinstance(verb_node, ast.Constant)
+                        and verb_node.value in _HTTP_VERBS
+                        and len(node.args) >= 2):
+                    continue
+                template = _template_of(node.args[1])
+                if template is None:
+                    continue
+                segments, _params = _path_segments(template)
+                payload = node.args[2] if len(node.args) > 2 else None
+                for keyword in node.keywords:
+                    if keyword.arg in ("payload", "body"):
+                        payload = keyword.value
+                calls.append(ClientCall(
+                    verb=str(verb_node.value), segments=segments,
+                    module=module, line=node.args[1].lineno,
+                    fields=_payload_fields(payload, local_dicts)))
+    return calls
+
+
+def _local_dicts(fn: ast.FunctionDef) -> Dict[str, ast.Dict]:
+    out: Dict[str, ast.Dict] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Dict):
+            out[node.targets[0].id] = node.value
+    return out
+
+
+def _payload_fields(payload: Optional[ast.AST],
+                    local_dicts: Dict[str, ast.Dict]
+                    ) -> Optional[Dict[str, int]]:
+    """Literal payload keys; ``None`` when the payload is opaque."""
+    if payload is None or (isinstance(payload, ast.Constant)
+                           and payload.value is None):
+        return {}
+    if isinstance(payload, ast.Name) and payload.id in local_dicts:
+        payload = local_dicts[payload.id]
+    if not isinstance(payload, ast.Dict):
+        return None
+    fields: Dict[str, int] = {}
+    for key in payload.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            fields[key.value] = key.lineno
+        else:
+            return None  # **expansion or computed key
+    return fields
+
+
+# -- server side -----------------------------------------------------------
+
+
+def _handler_classes(index: ProjectIndex):
+    for cls in index.classes():
+        if any("BaseHTTPRequestHandler" in c.bases
+               for c in index.mro(cls)):
+            yield cls
+
+
+def _path_vars(fn: ast.FunctionDef) -> Tuple[Set[str], Set[str]]:
+    """(names holding ``self.path`` strings, names holding its parts)."""
+    paths: Set[str] = set()
+    parts: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        uses_self_path = any(
+            isinstance(sub, ast.Attribute) and sub.attr == "path"
+            and isinstance(sub.value, ast.Name) and sub.value.id == "self"
+            for sub in ast.walk(node.value))
+        if not uses_self_path:
+            continue
+        is_split = any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "split"
+            for sub in ast.walk(node.value))
+        for target in node.targets:
+            names = ([target] if isinstance(target, ast.Name)
+                     else target.elts
+                     if isinstance(target, (ast.Tuple, ast.List)) else [])
+            for i, element in enumerate(names):
+                if not isinstance(element, ast.Name):
+                    continue
+                if is_split:
+                    parts.add(element.id)
+                elif i == 0:
+                    # `path, _, query = self.path.partition("?")`
+                    paths.add(element.id)
+    return paths, parts
+
+
+@dataclass
+class _Pattern:
+    """Positional constraints recovered from one route test."""
+
+    positions: Dict[int, str] = field(default_factory=dict)
+    length: Optional[int] = None
+    full: Optional[str] = None
+    line: int = 0
+
+    def segments(self, guards: Dict[int, str]) -> Optional[Tuple[str, ...]]:
+        if self.full is not None:
+            segs, _ = _path_segments(self.full)
+            return segs
+        if not self.positions and self.length is None:
+            return None  # the test constrained nothing route-shaped
+        positions = dict(guards)
+        positions.update(self.positions)
+        length = self.length
+        if length is None:
+            length = max(positions) + 1
+        return tuple(positions.get(i, WILD) for i in range(length))
+
+
+def _pattern_of(test: ast.expr, path_names: Set[str],
+                part_names: Set[str]) -> _Pattern:
+    pattern = _Pattern(line=getattr(test, "lineno", 0))
+    for node in ast.walk(test):
+        if not (isinstance(node, ast.Compare) and len(node.ops) == 1
+                and isinstance(node.ops[0], ast.Eq)):
+            continue
+        left, right = node.left, node.comparators[0]
+        if isinstance(left, ast.Constant):
+            left, right = right, left
+        # path == "/costs"
+        if isinstance(left, ast.Name) and left.id in path_names \
+                and isinstance(right, ast.Constant) \
+                and isinstance(right.value, str):
+            pattern.full = right.value
+            pattern.line = node.lineno
+        # len(parts) == 2
+        elif (isinstance(left, ast.Call)
+              and isinstance(left.func, ast.Name)
+              and left.func.id == "len" and left.args
+              and isinstance(left.args[0], ast.Name)
+              and left.args[0].id in part_names
+              and isinstance(right, ast.Constant)
+              and isinstance(right.value, int)):
+            pattern.length = right.value
+            pattern.line = pattern.line or node.lineno
+        elif isinstance(left, ast.Subscript) \
+                and isinstance(left.value, ast.Name) \
+                and left.value.id in part_names:
+            index = left.slice
+            # parts[0] == "cells"
+            if isinstance(index, ast.Constant) \
+                    and isinstance(index.value, int) \
+                    and isinstance(right, ast.Constant) \
+                    and isinstance(right.value, str):
+                pattern.positions[index.value] = right.value
+                pattern.line = node.lineno
+            # parts[1:] == ["seed"]
+            elif isinstance(index, ast.Slice) and index.upper is None \
+                    and isinstance(index.lower, ast.Constant) \
+                    and isinstance(right, (ast.List, ast.Tuple)):
+                start = index.lower.value
+                literals = [element.value for element in right.elts
+                            if isinstance(element, ast.Constant)]
+                if len(literals) == len(right.elts):
+                    for offset, literal in enumerate(literals):
+                        pattern.positions[start + offset] = literal
+                    pattern.length = start + len(literals)
+                    pattern.line = node.lineno
+    return pattern
+
+
+def _guards_of(fn: ast.FunctionDef, part_names: Set[str]) -> Dict[int, str]:
+    """``parts[0] != "work"`` early-outs pin positions for later tests."""
+    guards: Dict[int, str] = {}
+    for node in ast.walk(fn):
+        if not (isinstance(node, ast.Compare) and len(node.ops) == 1
+                and isinstance(node.ops[0], ast.NotEq)):
+            continue
+        left, right = node.left, node.comparators[0]
+        if isinstance(left, ast.Constant):
+            left, right = right, left
+        if isinstance(left, ast.Subscript) \
+                and isinstance(left.value, ast.Name) \
+                and left.value.id in part_names \
+                and isinstance(left.slice, ast.Constant) \
+                and isinstance(left.slice.value, int) \
+                and isinstance(right, ast.Constant) \
+                and isinstance(right.value, str):
+            guards[left.slice.value] = right.value
+    return guards
+
+
+def _payload_vars(fn: ast.FunctionDef) -> Set[str]:
+    """Locals assigned from ``json.loads(...)`` (the decoded body)."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Call):
+                    dotted = dotted_parts(sub.func)
+                    if dotted is not None and dotted[-1] == "loads":
+                        out.add(node.targets[0].id)
+    return out
+
+
+def _branch_reads(scope: Sequence[ast.stmt],
+                  payload_names: Set[str]) -> Optional[Dict[str, int]]:
+    """Fields read from the payload inside one route branch.
+
+    ``None`` when the payload escapes whole (passed to a call, stored)
+    — the branch reads more than literal keys, so field diffing is off.
+    """
+    reads: Dict[str, int] = {}
+    allowed: Set[int] = set()
+    names: List[ast.Name] = []
+    for stmt in scope:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "get" \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id in payload_names:
+                allowed.add(id(node.func.value))
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    reads[str(node.args[0].value)] = node.lineno
+            elif isinstance(node, ast.Subscript) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id in payload_names:
+                allowed.add(id(node.value))
+                if isinstance(node.slice, ast.Constant):
+                    reads[str(node.slice.value)] = node.lineno
+            elif isinstance(node, ast.Name) \
+                    and node.id in payload_names:
+                names.append(node)
+    if any(id(name) not in allowed for name in names):
+        return None
+    return reads
+
+
+def _helper_closure(cls, name: str) -> List[ast.FunctionDef]:
+    """The method plus same-class helpers it transitively calls."""
+    out: List[ast.FunctionDef] = []
+    seen: Set[str] = set()
+    queue = [name]
+    while queue:
+        current = queue.pop()
+        if current in seen or current not in cls.methods:
+            continue
+        seen.add(current)
+        fn = cls.methods[current]
+        out.append(fn)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id == "self":
+                queue.append(node.func.attr)
+    return out
+
+
+def _collect_routes(index: ProjectIndex
+                    ) -> Tuple[List[ServerRoute], StatusModel]:
+    routes: List[ServerRoute] = []
+    status = StatusModel()
+    for cls in _handler_classes(index):
+        module = cls.module
+        for fn in cls.methods.values():
+            _collect_sends(fn, module, status)
+        for name, fn in cls.methods.items():
+            if not name.startswith("do_"):
+                continue
+            verb = name[3:].upper()
+            payload_names = _payload_vars(fn)
+            functions = _helper_closure(cls, name)
+            guards = _guards_of(fn, _path_vars(fn)[1])
+            for scope in functions:
+                path_names, part_names = _path_vars(scope)
+                own_guards = guards if scope is fn else {}
+                for node in ast.walk(scope):
+                    if not isinstance(node, ast.If):
+                        continue
+                    pattern = _pattern_of(node.test, path_names,
+                                          part_names)
+                    segments = pattern.segments(own_guards)
+                    if segments is None:
+                        continue
+                    # routes tested in the do_* body read their fields
+                    # in that branch; routes recovered from a helper
+                    # (e.g. a fingerprint parser) are handled by the
+                    # whole method body
+                    reads = _branch_reads(node.body, payload_names) \
+                        if scope is fn \
+                        else _branch_reads(fn.body, payload_names)
+                    routes.append(ServerRoute(
+                        verb=verb, segments=segments, module=module,
+                        line=pattern.line or node.lineno, reads=reads))
+    return routes, status
+
+
+def _collect_sends(fn: ast.FunctionDef, module: ModuleInfo,
+                   status: StatusModel) -> None:
+    for node in ast.walk(fn):
+        if not (isinstance(node, ast.Call) and node.args
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"):
+            continue
+        code = node.args[0]
+        candidates = [code.body, code.orelse] \
+            if isinstance(code, ast.IfExp) else [code]
+        for candidate in candidates:
+            if isinstance(candidate, ast.Constant) \
+                    and isinstance(candidate.value, int) \
+                    and 100 <= candidate.value <= 599:
+                status.sends.append(
+                    (candidate.value, module, candidate.lineno))
+
+
+def _collect_status_checks(index: ProjectIndex,
+                           status: StatusModel) -> None:
+    for module in index.modules.values():
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Compare) and len(node.ops) == 1):
+                continue
+            left, right = node.left, node.comparators[0]
+            flipped = False
+            if not _is_status_expr(left):
+                left, right = right, left
+                flipped = True
+            if not _is_status_expr(left):
+                continue
+            op = node.ops[0]
+            if isinstance(op, (ast.Eq, ast.NotEq)) \
+                    and isinstance(right, ast.Constant) \
+                    and isinstance(right.value, int):
+                status.literals.add(right.value)
+            elif isinstance(op, (ast.In, ast.NotIn)) \
+                    and isinstance(right, (ast.Tuple, ast.List, ast.Set)):
+                status.literals.update(
+                    element.value for element in right.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, int))
+            elif isinstance(op, (ast.Gt, ast.GtE, ast.Lt, ast.LtE)) \
+                    and isinstance(right, ast.Constant) \
+                    and isinstance(right.value, int):
+                name = type(op).__name__
+                if flipped:
+                    name = {"Gt": "Lt", "GtE": "LtE",
+                            "Lt": "Gt", "LtE": "GtE"}[name]
+                status.ranges.append((name, right.value))
+
+
+def _is_status_expr(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr == "status"
+
+
+# -- to_dict / from_dict symmetry ------------------------------------------
+
+
+_TO_RE = re.compile(r"^(\w*?)_?to_dict$")
+_FROM_RE = re.compile(r"^(\w*?)_?from_dict$")
+
+
+def _dict_writes(fn: ast.FunctionDef
+                 ) -> Tuple[Dict[str, int], bool]:
+    """Literal keys a ``*_to_dict`` writes, plus a dynamic-keys flag."""
+    keys: Dict[str, int] = {}
+    dynamic = False
+    returns_literal = False
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) \
+                        and isinstance(key.value, str):
+                    keys.setdefault(key.value, key.lineno)
+                else:
+                    dynamic = True
+            returns_literal = True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    if isinstance(target.slice, ast.Constant) \
+                            and isinstance(target.slice.value, str):
+                        keys.setdefault(target.slice.value,
+                                        target.slice.lineno)
+                    else:
+                        dynamic = True
+    if not returns_literal and not keys:
+        dynamic = True  # opaque builder (e.g. returns to_canonical(...))
+    return keys, dynamic
+
+
+def _dict_reads(fn: ast.FunctionDef) -> Tuple[Dict[str, int], bool]:
+    """Literal keys a ``*_from_dict`` reads, plus a dynamic flag."""
+    keys: Dict[str, int] = {}
+    dynamic = False
+    if not fn.args.args and not fn.args.posonlyargs:
+        return keys, True
+    first = (fn.args.posonlyargs + fn.args.args)[0].arg
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "get" \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id == first and node.args:
+            key = node.args[0]
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.setdefault(key.value, node.lineno)
+            else:
+                dynamic = True
+        elif isinstance(node, ast.Subscript) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == first:
+            if isinstance(node.slice, ast.Constant) \
+                    and isinstance(node.slice.value, str):
+                keys.setdefault(node.slice.value, node.lineno)
+            elif not isinstance(node.slice, ast.Slice):
+                dynamic = True
+    return keys, dynamic
+
+
+def _check_spec_pairs(index: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    writers: Dict[str, Tuple[ModuleInfo, ast.FunctionDef]] = {}
+    readers: Dict[str, Tuple[ModuleInfo, ast.FunctionDef]] = {}
+    for module in index.modules.values():
+        for node in module.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            to_match = _TO_RE.match(node.name)
+            from_match = _FROM_RE.match(node.name)
+            if to_match:
+                writers[to_match.group(1)] = (module, node)
+            elif from_match:
+                readers[from_match.group(1)] = (module, node)
+    for stem in sorted(set(writers) & set(readers)):
+        write_module, writer = writers[stem]
+        read_module, reader = readers[stem]
+        written, write_dynamic = _dict_writes(writer)
+        read, read_dynamic = _dict_reads(reader)
+        if not read_dynamic and not write_dynamic:
+            for key in sorted(set(written) - set(read)):
+                findings.append(Finding(
+                    write_module.display, written[key], "wire-spec-drift",
+                    f"`{writer.name}` writes key {key!r} that "
+                    f"`{reader.name}` never reads back"))
+            for key in sorted(set(read) - set(written)):
+                findings.append(Finding(
+                    read_module.display, read[key], "wire-spec-drift",
+                    f"`{reader.name}` reads key {key!r} that "
+                    f"`{writer.name}` never writes"))
+    return findings
+
+
+# -- the pass --------------------------------------------------------------
+
+
+def check_wire_protocol(index: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    calls = _collect_clients(index)
+    routes, status = _collect_routes(index)
+    _collect_status_checks(index, status)
+
+    if calls and routes:
+        for call in calls:
+            matches = [route for route in routes
+                       if route.verb == call.verb
+                       and _compatible(call.segments, route.segments)]
+            if not matches:
+                findings.append(Finding(
+                    call.module.display, call.line,
+                    "wire-endpoint-unhandled",
+                    f"client sends {call.verb} "
+                    f"/{'/'.join(call.segments)} but no handler routes "
+                    f"it; the request can only 404"))
+                continue
+            if call.fields is None \
+                    or any(route.reads is None for route in matches):
+                continue
+            read: Set[str] = set()
+            for route in matches:
+                read.update(route.reads or {})
+            for field_name, line in sorted(call.fields.items()):
+                if field_name not in read:
+                    findings.append(Finding(
+                        call.module.display, line, "wire-field-unread",
+                        f"payload field {field_name!r} sent with "
+                        f"{call.verb} /{'/'.join(call.segments)} is "
+                        f"read by no handler branch"))
+        for route in routes:
+            matches = [call for call in calls
+                       if call.verb == route.verb
+                       and _compatible(call.segments, route.segments)]
+            if not matches:
+                findings.append(Finding(
+                    route.module.display, route.line,
+                    "wire-endpoint-unused",
+                    f"handler routes {route.verb} "
+                    f"/{'/'.join(route.segments)} but no client "
+                    f"requests it; dead protocol surface"))
+                continue
+            if route.reads is None \
+                    or any(call.fields is None for call in matches):
+                continue
+            sent: Set[str] = set()
+            for call in matches:
+                sent.update(call.fields or {})
+            for field_name, line in sorted(route.reads.items()):
+                if field_name not in sent:
+                    findings.append(Finding(
+                        route.module.display, line, "wire-field-unsent",
+                        f"handler reads payload field {field_name!r} "
+                        f"on {route.verb} /{'/'.join(route.segments)} "
+                        f"but no client sends it; only the fallback "
+                        f"default ever arrives"))
+    if calls:
+        for code, module, line in status.sends:
+            if not status.handled(code):
+                findings.append(Finding(
+                    module.display, line, "wire-status-unhandled",
+                    f"server can answer HTTP {code} but no client "
+                    f"status check distinguishes it from success"))
+    findings.extend(_check_spec_pairs(index))
+    return sorted(set(findings))

@@ -52,6 +52,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from ...checks.tsan import guarded_dict, guarded_list, new_lock
 from .fingerprint import cell_fingerprint
 from .runner import (
     CellOutcome,
@@ -170,22 +171,31 @@ class LeaseBoard:
     clock: Callable[[], float] = time.monotonic
 
     def __post_init__(self) -> None:
-        self._lock = threading.Lock()
+        # under REPRO_TSAN=1 the lock records acquisition order and the
+        # containers assert it is held on every mutation; otherwise these
+        # are the plain threading.Lock / dict / list they always were.
+        self._lock = new_lock("LeaseBoard._lock")
         history = self.store.cost_history() if self.store else None
         self._queue = WorkQueue([], CostModel(history))
-        self._leases: Dict[str, _Lease] = {}
+        self._leases: Dict[str, _Lease] = guarded_dict(
+            self._lock, "LeaseBoard._leases")
         #: fingerprint -> "queued" | "leased" for every unfinished cell.
-        self._pending: Dict[str, str] = {}
+        self._pending: Dict[str, str] = guarded_dict(
+            self._lock, "LeaseBoard._pending")
         #: fingerprint -> successful outcome (first completion wins).
-        self._done: Dict[str, dict] = {}
+        self._done: Dict[str, dict] = guarded_dict(
+            self._lock, "LeaseBoard._done")
         #: append-only outcome log the drivers poll with a cursor.
-        self._outcomes: List[dict] = []
+        self._outcomes: List[dict] = guarded_list(
+            self._lock, "LeaseBoard._outcomes")
         self._lease_seq = 0
         self._outcome_seq = 0
         #: workers that polled for work and found none (starvation
         #: signal: their presence makes claims split big groups).
-        self._starving: Dict[str, float] = {}
-        self.workers: Dict[str, Dict[str, int]] = {}
+        self._starving: Dict[str, float] = guarded_dict(
+            self._lock, "LeaseBoard._starving")
+        self.workers: Dict[str, Dict[str, int]] = guarded_dict(
+            self._lock, "LeaseBoard.workers")
         self.seeded_groups = 0
         self.seeded_cells = 0
         self.done_groups = 0
@@ -243,9 +253,10 @@ class LeaseBoard:
         with self._lock:
             self._touch(worker, now)
             self._expire(now)
-            self._starving = {name: seen
-                              for name, seen in self._starving.items()
-                              if now - seen <= self.lease_ttl_s}
+            stale = [name for name, seen in self._starving.items()
+                     if now - seen > self.lease_ttl_s]
+            for name in stale:
+                del self._starving[name]
             if not len(self._queue):
                 self._starving[worker] = now
                 if self._leases:

@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import Dict, List, NamedTuple, Optional, Tuple, Union
 from urllib.parse import urlsplit
 
+from ...checks.tsan import guarded_dict, new_lock, new_rlock
 from ..results import SimResult
 from .fingerprint import CACHE_SCHEMA_VERSION, config_from_dict, config_to_dict
 from .spec import CellSpec
@@ -202,6 +203,18 @@ class ResultStore:
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
+        # stores are shared across worker threads (the coordinator's
+        # handler pool, TieredStore under a parallel sweep), and `+= 1`
+        # is a read-modify-write — so the counters get their own lock.
+        self._stats_lock = new_lock(f"{type(self).__name__}._stats_lock")
+
+    def _count_hit(self) -> None:
+        with self._stats_lock:
+            self.hits += 1
+
+    def _count_miss(self) -> None:
+        with self._stats_lock:
+            self.misses += 1
 
     # -- transport (subclass responsibility) ------------------------------
 
@@ -237,7 +250,7 @@ class ResultStore:
             except _STORE_ERRORS as err:
                 logger.warning("ignoring unreadable cache entry %s in %s: %s",
                                fingerprint[:12], self.describe(), err)
-        self.misses += 1
+        self._count_miss()
         return None
 
     def fetch(self, fingerprint: str) -> Optional[Fetched]:
@@ -245,7 +258,7 @@ class ResultStore:
         valid = self.read_valid(fingerprint)
         if valid is None:
             return None
-        self.hits += 1
+        self._count_hit()
         return Fetched(valid[1], self.label)
 
     def get(self, fingerprint: str) -> Optional[SimResult]:
@@ -307,7 +320,9 @@ class ResultStore:
 
     def counter_lines(self) -> List[str]:
         """One accounting line per tier, for the end of a CLI sweep."""
-        return [f"{self.label}: {self.hits} hits, {self.misses} misses "
+        with self._stats_lock:
+            hits, misses = self.hits, self.misses
+        return [f"{self.label}: {hits} hits, {misses} misses "
                 f"({self.describe()})"]
 
 
@@ -607,6 +622,7 @@ class HttpChannel:
             # rejected the request — fall back to identity for good.  A
             # gzip-capable server advertises itself in its Server header,
             # so its legitimate 400s (invalid entries) never trip this.
+            # repro-check: disable=lock-unguarded-shared -- one-way False latch; a racing reader merely sends one more request compressed and retries it, and the flag never flips back
             self.send_gzip = False
             response = self._round_trip(method, path, body, content_type,
                                         False)
@@ -724,16 +740,16 @@ class TieredStore(ResultStore):
     def fetch(self, fingerprint: str) -> Optional[Fetched]:
         fetched = self.local.fetch(fingerprint)
         if fetched is not None:
-            self.hits += 1
+            self._count_hit()
             return fetched
         valid = self.shared.read_valid(fingerprint)
         if valid is None:
-            self.misses += 1
+            self._count_miss()
             return None
-        self.shared.hits += 1
+        self.shared._count_hit()
         entry, result = valid
         self.local.hydrate(fingerprint, entry)
-        self.hits += 1
+        self._count_hit()
         return Fetched(result, self.shared.label)
 
     def get(self, fingerprint: str) -> Optional[SimResult]:
@@ -883,6 +899,7 @@ class _StoreHandler(BaseHTTPRequestHandler):
         store = self._store()
         path, _, query = self.path.partition("?")
         path = path.rstrip("/")
+        # repro-check: disable=wire-endpoint-unused -- health/identity endpoint for humans, probes and load balancers; no in-repo client calls it on purpose
         if path == "":
             board = self._board()
             status = {"store": "repro", "schema": CACHE_SCHEMA_VERSION,
