@@ -41,6 +41,15 @@ Commands:
 ``worker --coordinator URL [--name N] [--exit-when-idle]``
     Claim warm groups from a coordinator, compute them, and write the
     results back — one process per core per machine scales a sweep out.
+``serve [--host H] [--port P] [--max-tenants N]``
+    Multi-tenant integrity-verification service: per-tenant hash trees
+    (create/evict over HTTP), verified read/write, the Section 5.7 DMA
+    discipline, and batched reads that share verification walks.
+``loadgen [--url URL] [--tenants N] [--threads N] [--requests N]``
+    Mixed-tenant load generator against a serve front end (or an
+    in-process one when --url is omitted): latency percentiles,
+    batch-amortization ratio, and a byte-identity diff against direct
+    MemoryVerifier replay, recorded into BENCH_serve.json.
 ``cache prune [--cache-dir DIR] [--store S] [--tmp-only]``
     Remove stale ``*.json.tmp*`` droppings and unreadable/schema-
     mismatched entries, reporting reclaimed bytes.
@@ -333,6 +342,72 @@ def _cmd_store_serve(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from .serve import TreeForest, make_serve_server
+
+    forest = TreeForest(max_tenants=args.max_tenants)
+    try:
+        server = make_serve_server(forest, host=args.host, port=args.port)
+    except OSError as error:
+        print(f"serve: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"serving tree forest at http://{host}:{port} "
+          f"(up to {args.max_tenants} tenants; POST /tenants to create; "
+          f"Ctrl-C stops)")
+
+    stop = threading.Event()
+
+    def _request_stop(_signum, _frame) -> None:
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, _request_stop)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
+        pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.shutdown()
+        thread.join(timeout=5.0)
+        server.server_close()
+    print("serve: shut down cleanly")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from .serve import run_loadgen
+    from .serve.loadgen import format_report
+
+    try:
+        report = run_loadgen(
+            base_url=args.url,
+            tenants=args.tenants,
+            threads=args.threads,
+            requests=args.requests,
+            spans_per_read=args.spans,
+            data_bytes=args.data_kb * KB,
+            seed=args.seed,
+            output=None if args.no_output else args.output,
+        )
+    except (OSError, ValueError) as error:
+        print(f"loadgen: {error}", file=sys.stderr)
+        return 2
+    print("\n".join(format_report(report)))
+    if not args.no_output:
+        print(f"recorded -> {args.output}")
+    return 0 if report["diff_ok"] else 1
+
+
 def _cmd_cache(args) -> int:
     import os
 
@@ -533,6 +608,41 @@ def main(argv=None) -> int:
                         help="exit after completing N groups "
                              "(default: unlimited)")
 
+    serve_cmd = sub.add_parser("serve")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8747,
+                           help="TCP port (default: 8747; 0 = ephemeral)")
+    serve_cmd.add_argument("--max-tenants", type=int, default=64,
+                           help="tenant capacity of the forest "
+                                "(default: 64)")
+
+    loadgen = sub.add_parser("loadgen")
+    loadgen.add_argument("--url", default=None, metavar="URL",
+                         help="serve front end to drive (default: boot an "
+                              "in-process one on a loopback port)")
+    loadgen.add_argument("--tenants", type=int, default=4,
+                         help="tenants to create, schemes assigned "
+                              "round-robin (default: 4)")
+    loadgen.add_argument("--threads", type=int, default=8,
+                         help="concurrent client threads (default: 8)")
+    loadgen.add_argument("--requests", type=int, default=2000,
+                         help="total requests across all threads "
+                              "(default: 2000)")
+    loadgen.add_argument("--spans", type=int, default=8,
+                         help="spans per vectored read (default: 8)")
+    loadgen.add_argument("--data-kb", type=int, default=16,
+                         help="protected segment per tenant in KiB "
+                              "(default: 16)")
+    loadgen.add_argument("--seed", type=int, default=1,
+                         help="deterministic op-mix seed (default: 1)")
+    loadgen.add_argument("--output", default="BENCH_serve.json",
+                         metavar="PATH",
+                         help="trajectory-schema results file "
+                              "(default: BENCH_serve.json)")
+    loadgen.add_argument("--no-output", action="store_true",
+                         help="report only; do not append a results row")
+
     cache_cmd = sub.add_parser("cache")
     cache_cmd.add_argument("action", choices=["prune"],
                            help="prune: delete tmp droppings and "
@@ -585,6 +695,8 @@ def main(argv=None) -> int:
         "sweep": _cmd_sweep,
         "store-serve": _cmd_store_serve,
         "worker": _cmd_worker,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "cache": _cmd_cache,
         "check": _cmd_check,
         "trace": _cmd_trace,

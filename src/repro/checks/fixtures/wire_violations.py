@@ -18,6 +18,9 @@ class MiniHandler(BaseHTTPRequestHandler):
         if parts[0] == "queue" and parts[1:] == ["drain"]:  # expect: wire-endpoint-unused
             self.send_json(200, {"drained": True})
             return
+        if parts == ["metrics", "live"]:  # expect: wire-endpoint-unused
+            self.send_json(200, {"up": True})
+            return
         self.send_json(404, {"error": "no route"})
 
     def do_POST(self):

@@ -276,6 +276,18 @@ def _pattern_of(test: ast.expr, path_names: Set[str],
                 and isinstance(right.value, str):
             pattern.full = right.value
             pattern.line = node.lineno
+        # parts == ["tenants"]  (full-list equality pins every position
+        # *and* the length in one test)
+        elif isinstance(left, ast.Name) and left.id in part_names \
+                and isinstance(right, (ast.List, ast.Tuple)):
+            literals = [element.value for element in right.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)]
+            if len(literals) == len(right.elts):
+                for offset, literal in enumerate(literals):
+                    pattern.positions[offset] = literal
+                pattern.length = len(literals)
+                pattern.line = node.lineno
         # len(parts) == 2
         elif (isinstance(left, ast.Call)
               and isinstance(left.func, ast.Name)

@@ -14,13 +14,20 @@ execution runtime) talks to.  It owns:
 Addresses given to the verifier are *protected-space* addresses: the
 verifier (not the program) knows that leaf chunks live above the hash
 chunks physically.
+
+Every public method holds the verifier's re-entrant lock, so one
+:class:`MemoryVerifier` may be shared by concurrent service threads (the
+``repro.serve`` forest does exactly that).  The trees underneath are not
+independently locked — the verifier lock is the single serialization
+point for a tenant.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Optional, Set
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..checks.tsan import guarded_dict, new_rlock
 from ..common.errors import ConfigurationError, SecureModeError
 from ..crypto.hashes import HashFunction, default_hash
 from ..memory.main_memory import UntrustedMemory
@@ -97,8 +104,15 @@ class MemoryVerifier:
             )
         else:
             raise ConfigurationError(f"unknown scheme {scheme!r}")
+        self._lock = new_rlock("MemoryVerifier._lock")
         self.state = VerifierState.UNINITIALIZED
-        self._unprotected_chunks: Set[int] = set()
+        # chunk -> True; a guarded dict so REPRO_TSAN=1 catches any
+        # mutation that slips outside the verifier lock
+        self._unprotected_chunks: Dict[int, bool] = guarded_dict(
+            self._lock, "MemoryVerifier._unprotected_chunks"
+        )
+        self._walks_requested = 0
+        self._walks_performed = 0
 
     # -- secure-mode lifecycle ----------------------------------------------------
 
@@ -110,17 +124,19 @@ class MemoryVerifier:
         flush trick cannot produce from-scratch MACs, see Section 5.8's
         footnote).
         """
-        if isinstance(self.tree, CachedHashTree):
-            self.tree.initialize_by_touch()
-        elif isinstance(self.tree, MultiBlockHashTree):
-            self.tree.initialize_from_memory()
-        else:
-            self.tree.build()
-        self.state = VerifierState.ACTIVE
+        with self._lock:
+            if isinstance(self.tree, CachedHashTree):
+                self.tree.initialize_by_touch()
+            elif isinstance(self.tree, MultiBlockHashTree):
+                self.tree.initialize_from_memory()
+            else:
+                self.tree.build()
+            self.state = VerifierState.ACTIVE
 
     @property
     def active(self) -> bool:
-        return self.state is VerifierState.ACTIVE
+        with self._lock:
+            return self.state is VerifierState.ACTIVE
 
     def _require_active(self) -> None:
         if not self.active:
@@ -131,26 +147,81 @@ class MemoryVerifier:
     def is_protected(self, address: int) -> bool:
         """True when ``address`` lies in the protected segment *and* its
         chunk has not been temporarily unprotected for DMA."""
-        if not 0 <= address < self.layout.data_bytes:
-            return False
-        chunk, _ = self.layout.leaf_for_address(address)
-        return chunk not in self._unprotected_chunks
+        with self._lock:
+            if not 0 <= address < self.layout.data_bytes:
+                return False
+            chunk, _ = self.layout.leaf_for_address(address)
+            return chunk not in self._unprotected_chunks
 
     def read(self, address: int, length: int) -> bytes:
         """Verified read; refuses unprotected bytes (use read_without_checking)."""
-        self._require_active()
-        self._refuse_unprotected(address, length)
-        return self.tree.read(address, length)
+        with self._lock:
+            self._require_active()
+            self._refuse_unprotected(address, length)
+            return self.tree.read(address, length)
+
+    def read_many(self, spans: Sequence[Tuple[int, int]]) -> List[bytes]:
+        """Verified batched read: one tree walk per *distinct* chunk.
+
+        Overlapping spans share chunk fetches, so N requests touching the
+        same hot path cost one verification walk instead of N (the
+        service batcher's amortization hook, generalizing the paper's
+        Section 5.9 background checking).  Results are byte-identical to
+        issuing :meth:`read` per span; every span is validated before any
+        chunk is fetched, so a bad span fails the whole batch atomically.
+        """
+        with self._lock:
+            self._require_active()
+            plans: List[List[Tuple[int, int, int]]] = []
+            for address, length in spans:
+                self._refuse_unprotected(address, length)
+                pieces: List[Tuple[int, int, int]] = []
+                cursor, remaining = address, length
+                while remaining > 0:
+                    chunk, offset = self.layout.leaf_for_address(cursor)
+                    take = min(remaining, self.layout.chunk_bytes - offset)
+                    pieces.append((chunk, offset, take))
+                    cursor += take
+                    remaining -= take
+                plans.append(pieces)
+            needed = sorted({chunk for pieces in plans for chunk, _, _ in pieces})
+            fetched: Dict[int, bytes] = {}
+            for chunk in needed:
+                start = self.layout.address_for_leaf(chunk)
+                take = min(self.layout.chunk_bytes, self.layout.data_bytes - start)
+                fetched[chunk] = self.tree.read(start, take)
+            self._walks_requested += sum(len(pieces) for pieces in plans)
+            self._walks_performed += len(needed)
+            return [
+                b"".join(fetched[chunk][offset:offset + take]
+                         for chunk, offset, take in pieces)
+                for pieces in plans
+            ]
+
+    def walk_counters(self) -> Dict[str, int]:
+        """Chunk-fetch accounting for :meth:`read_many` amortization.
+
+        ``requested`` counts per-span chunk touches; ``performed`` counts
+        the distinct chunks actually walked.  ``requested / performed``
+        is the batch-amortization ratio reported by ``repro loadgen``.
+        """
+        with self._lock:
+            return {
+                "requested": self._walks_requested,
+                "performed": self._walks_performed,
+            }
 
     def write(self, address: int, data: bytes) -> None:
         """Verified write into the protected segment."""
-        self._require_active()
-        self._refuse_unprotected(address, len(data))
-        self.tree.write(address, data)
+        with self._lock:
+            self._require_active()
+            self._refuse_unprotected(address, len(data))
+            self.tree.write(address, data)
 
     def flush(self) -> None:
         """Write back all dirty trusted-cache state."""
-        self.tree.flush()
+        with self._lock:
+            self.tree.flush()
 
     # -- the unprotected world (Section 5.7) --------------------------------------------
 
@@ -168,23 +239,33 @@ class MemoryVerifier:
         symmetrically cannot silently read unprotected data with a normal
         load.
         """
-        for offset in range(0, length, self.layout.chunk_bytes):
-            probe = address + offset
-            if self.is_protected(probe) or self.is_protected(
-                min(address + length - 1, probe + self.layout.chunk_bytes - 1)
-            ):
-                raise SecureModeError(
-                    f"address {probe:#x} is protected; use a normal read"
-                )
-        return self.memory.peek(*self._physical_span(address, length))
+        with self._lock:
+            if length <= 0:
+                raise ValueError("length must be positive")
+            for offset in range(0, length, self.layout.chunk_bytes):
+                probe = address + offset
+                if self.is_protected(probe) or self.is_protected(
+                    min(address + length - 1, probe + self.layout.chunk_bytes - 1)
+                ):
+                    raise SecureModeError(
+                        f"address {probe:#x} is protected; use a normal read"
+                    )
+            return self.memory.peek(*self._physical_span(address, length))
 
     def write_without_checking(self, address: int, data: bytes) -> None:
         """Raw store into unprotected bytes (models a DMA landing zone)."""
-        probes = list(range(0, len(data), self.layout.chunk_bytes)) + [len(data) - 1]
-        if any(self.is_protected(address + off) for off in probes):
-            raise SecureModeError("cannot write protected bytes unchecked")
-        physical, _ = self._physical_span(address, len(data))
-        self.memory.write(physical, data)
+        with self._lock:
+            if not data:
+                # an empty store used to probe address-1, i.e. the byte
+                # *before* the span, and could be refused (or allowed)
+                # based on an unrelated chunk
+                raise ValueError("length must be positive")
+            probes = list(range(0, len(data), self.layout.chunk_bytes))
+            probes.append(len(data) - 1)
+            if any(self.is_protected(address + off) for off in probes):
+                raise SecureModeError("cannot write protected bytes unchecked")
+            physical, _ = self._physical_span(address, len(data))
+            self.memory.write(physical, data)
 
     def unprotect_range(self, address: int, length: int) -> None:
         """Mark whole chunks as unprotected ahead of a DMA transfer.
@@ -192,19 +273,31 @@ class MemoryVerifier:
         Cached copies are dropped so the DMA data is observed on the next
         (rebuilt) read.
         """
-        self._require_active()
-        for chunk in self._chunks_covering(address, length):
-            self._unprotected_chunks.add(chunk)
-            self.tree.invalidate_chunk(chunk)
+        with self._lock:
+            self._require_active()
+            for chunk in self._chunks_covering(address, length):
+                self._unprotected_chunks[chunk] = True
+                self.tree.invalidate_chunk(chunk)
 
     def rebuild_range(self, address: int, length: int) -> None:
-        """Recompute tree entries over DMA-written chunks and re-protect them."""
-        self._require_active()
-        for chunk in self._chunks_covering(address, length):
-            if chunk not in self._unprotected_chunks:
-                raise SecureModeError(f"chunk {chunk} was not unprotected")
-            self.tree.rebuild_chunk_from_memory(chunk)
-            self._unprotected_chunks.discard(chunk)
+        """Recompute tree entries over DMA-written chunks and re-protect them.
+
+        Validates the whole span before touching the tree: a span that
+        covers any still-protected chunk fails atomically instead of
+        rebuilding a prefix and then raising mid-loop.
+        """
+        with self._lock:
+            self._require_active()
+            chunks = self._chunks_covering(address, length)
+            stale = [c for c in chunks if c not in self._unprotected_chunks]
+            if stale:
+                raise SecureModeError(
+                    f"chunk(s) {stale} in [{address:#x}, {address + length:#x}) "
+                    "were not unprotected"
+                )
+            for chunk in chunks:
+                self.tree.rebuild_chunk_from_memory(chunk)
+                self._unprotected_chunks.pop(chunk, None)
 
     def physical_address(self, address: int) -> int:
         """Translate a protected/window address to its physical address."""
@@ -216,6 +309,14 @@ class MemoryVerifier:
     def _chunks_covering(self, address: int, length: int) -> range:
         if length <= 0:
             raise ValueError("length must be positive")
+        if address < 0 or address + length > self.layout.data_bytes:
+            # unprotect/rebuild spans must lie wholly inside the tree;
+            # report the discipline violation, not a raw IndexError from
+            # the layout probing address + length - 1
+            raise SecureModeError(
+                f"span [{address:#x}, {address + length:#x}) exits the "
+                f"protected segment [0, {self.layout.data_bytes:#x})"
+            )
         first, _ = self.layout.leaf_for_address(address)
         last, _ = self.layout.leaf_for_address(address + length - 1)
         return range(first, last + 1)
@@ -236,6 +337,8 @@ class MemoryVerifier:
 
     def _physical_span(self, address: int, length: int) -> tuple[int, int]:
         """Map a verifier-space span to (physical_address, length)."""
+        if length <= 0:
+            raise ValueError("length must be positive")
         if 0 <= address < self.layout.data_bytes:
             if address + length > self.layout.data_bytes:
                 raise SecureModeError("span crosses the protection boundary")

@@ -1,0 +1,187 @@
+"""Per-tenant verifier lifecycle: the tree forest.
+
+A :class:`TreeForest` owns many independent :class:`MemoryVerifier`
+instances — one tree per tenant, each over its own
+:class:`UntrustedMemory` with its own scheme and geometry.  Tenants are
+fully isolated: there is no shared physical memory, so a tamper in one
+tenant's RAM can never affect another tenant's verification (the
+cross-tenant adversary test in ``tests/test_serve.py`` proves this end
+to end).
+
+Concurrency: the forest's registry is guarded by the forest lock; the
+expensive part of ``create`` (building + initializing the tree) runs
+*outside* the lock and the finished tenant is published under it, so a
+slow create never blocks lookups.  Each verifier carries its own
+re-entrant lock (see :mod:`repro.hashtree.verifier`), giving the
+ordering ``forest -> verifier`` with no reverse edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..checks.tsan import guarded_dict, new_lock
+from ..common.errors import ConfigurationError
+from ..crypto.hashes import default_hash
+from ..hashtree.layout import TreeLayout
+from ..hashtree.verifier import MemoryVerifier
+from ..memory.main_memory import UntrustedMemory
+from .batch import ReadBatcher
+
+#: extra physical RAM past the tree per tenant — the unprotected window
+#: (DMA landing zone), in bytes.
+DEFAULT_WINDOW_BYTES = 4096
+
+VALID_SCHEMES = ("naive", "chash", "mhash", "ihash")
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Geometry and scheme of one tenant's tree."""
+
+    name: str
+    data_bytes: int = 64 * 1024
+    scheme: str = "chash"
+    chunk_bytes: int = 64
+    cache_chunks: int = 64
+    blocks_per_chunk: int = 2
+    window_bytes: int = DEFAULT_WINDOW_BYTES
+
+    def validate(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ConfigurationError(
+                f"tenant name {self.name!r} must be non-empty and slash-free"
+            )
+        if self.scheme not in VALID_SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {self.scheme!r}; want one of {VALID_SCHEMES}"
+            )
+        if self.data_bytes <= 0 or self.window_bytes < 0:
+            raise ConfigurationError("tenant geometry must be positive")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantConfig":
+        known = set(cls.__dataclass_fields__)
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(f"unknown tenant fields: {unknown}")
+        config = cls(**data)
+        config.validate()
+        return config
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "data_bytes": self.data_bytes,
+            "scheme": self.scheme,
+            "chunk_bytes": self.chunk_bytes,
+            "cache_chunks": self.cache_chunks,
+            "blocks_per_chunk": self.blocks_per_chunk,
+            "window_bytes": self.window_bytes,
+        }
+
+
+@dataclass
+class Tenant:
+    """One attached tenant: its RAM, verifier and request batcher."""
+
+    config: TenantConfig
+    memory: UntrustedMemory
+    verifier: MemoryVerifier
+    batcher: ReadBatcher = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.batcher = ReadBatcher(self.verifier)
+
+
+def build_tenant(config: TenantConfig) -> Tenant:
+    """Allocate RAM sized to the tree plus the DMA window, then attach."""
+    config.validate()
+    hash_fn = default_hash()
+    layout = TreeLayout(config.data_bytes, config.chunk_bytes,
+                        hash_fn.digest_bytes)
+    memory = UntrustedMemory(layout.physical_bytes + config.window_bytes)
+    verifier = MemoryVerifier(
+        memory,
+        config.data_bytes,
+        scheme=config.scheme,
+        chunk_bytes=config.chunk_bytes,
+        cache_chunks=config.cache_chunks,
+        blocks_per_chunk=config.blocks_per_chunk,
+        hash_fn=hash_fn,
+    )
+    verifier.initialize()
+    return Tenant(config=config, memory=memory, verifier=verifier)
+
+
+class TreeForest:
+    """Registry of live tenants, safe for concurrent service threads."""
+
+    def __init__(self, max_tenants: int = 64):
+        self.max_tenants = max_tenants
+        self._lock = new_lock("TreeForest._lock")
+        self._tenants: Dict[str, Tenant] = guarded_dict(
+            self._lock, "TreeForest._tenants"
+        )
+
+    def create(self, config: TenantConfig) -> Tenant:
+        """Build a tenant's tree and publish it; name must be fresh."""
+        with self._lock:
+            # reserve the name before the (slow) build so two concurrent
+            # creates of the same tenant cannot both succeed
+            if config.name in self._tenants:
+                raise KeyError(f"tenant {config.name!r} already exists")
+            if len(self._tenants) >= self.max_tenants:
+                raise ConfigurationError(
+                    f"forest is full ({self.max_tenants} tenants)"
+                )
+            self._tenants[config.name] = None  # type: ignore[assignment]
+        try:
+            tenant = build_tenant(config)
+        except BaseException:
+            with self._lock:
+                self._tenants.pop(config.name, None)
+            raise
+        with self._lock:
+            self._tenants[config.name] = tenant
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        """The live tenant; raises ``KeyError`` if unknown or mid-create."""
+        with self._lock:
+            tenant = self._tenants.get(name)
+        if tenant is None:
+            raise KeyError(f"unknown tenant {name!r}")
+        return tenant
+
+    def evict(self, name: str) -> None:
+        """Drop a tenant; its dirty trusted state is flushed first."""
+        with self._lock:
+            tenant = self._tenants.pop(name, None)
+        if tenant is None:
+            raise KeyError(f"unknown tenant {name!r}")
+        tenant.verifier.flush()
+
+    def names(self) -> List[str]:
+        with self._lock:
+            live = [name for name, tenant in self._tenants.items()
+                    if tenant is not None]
+        return sorted(live)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    def stats(self) -> Dict[str, dict]:
+        """Per-tenant walk/batch counters (for the /stats endpoints)."""
+        totals: Dict[str, dict] = {}
+        for name in self.names():
+            try:
+                tenant = self.get(name)
+            except KeyError:
+                continue
+            entry = dict(tenant.verifier.walk_counters())
+            entry.update(tenant.batcher.counters())
+            totals[name] = entry
+        return totals

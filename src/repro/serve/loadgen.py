@@ -1,0 +1,292 @@
+"""Mixed-tenant load generator for the serve front end.
+
+Drives a :class:`~repro.serve.service.ServeClient` from many worker
+threads against a forest of tenants and reports:
+
+* latency percentiles (p50/p95/p99) over the verified-read requests;
+* the batch-amortization ratio — per-span chunk touches over distinct
+  chunk walks (``> 1`` means request combining saved work);
+* a byte-identity check: after the run, every tenant's full protected
+  segment as served over HTTP is diffed against a *direct*
+  :class:`MemoryVerifier` twin replaying the same writes locally.
+
+The op mix per worker is deterministic (one ``random.Random`` per
+thread): vectored reads over a small hot window (overlap by
+construction, so amortization is guaranteed, not timing-dependent),
+point reads, writes into thread-private chunks, and full DMA cycles
+(unprotect -> raw store -> verified read refused -> rebuild -> read
+back) exercising the Section 5.7 discipline under load.
+
+Results land in ``BENCH_serve.json`` with the same row schema as the
+perf-trajectory ratchet (see :mod:`repro.analysis.perf`).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.perf import append_trajectory_row
+from ..common.errors import SecureModeError
+from .forest import TenantConfig, TreeForest, build_tenant
+from .service import ServeClient, make_serve_server
+
+#: serve results file, next to the other BENCH_*.json records.
+SERVE_BENCH_DEFAULT = "BENCH_serve.json"
+
+#: tenant schemes are assigned round-robin from this list.
+SCHEME_MIX = ("chash", "naive", "mhash", "ihash")
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = int(round(q * (len(sorted_values) - 1)))
+    return sorted_values[min(index, len(sorted_values) - 1)]
+
+
+def _tenant_configs(tenants: int, data_bytes: int,
+                    chunk_bytes: int) -> List[TenantConfig]:
+    return [
+        TenantConfig(
+            name=f"lg{index}",
+            data_bytes=data_bytes,
+            scheme=SCHEME_MIX[index % len(SCHEME_MIX)],
+            chunk_bytes=chunk_bytes,
+            cache_chunks=32,
+        )
+        for index in range(tenants)
+    ]
+
+
+def _setup_tenant(client: ServeClient, config: TenantConfig,
+                  pattern: bytes, chunk_bytes: int) -> None:
+    client.create_tenant(config)
+    step = 64 * chunk_bytes
+    for offset in range(0, len(pattern), step):
+        client.write(config.name, offset, pattern[offset:offset + step])
+
+
+def _worker(client: ServeClient, configs: List[TenantConfig],
+            patterns: Dict[str, bytes], thread_index: int, ops: int,
+            spans_per_read: int, hot_chunks: int, seed: int,
+            latencies: List[float], writes: List[Tuple[str, int, bytes]],
+            failures: List[str]) -> None:
+    rng = random.Random(seed * 1000003 + thread_index)
+    chunk = configs[0].chunk_bytes
+    hot_bytes = hot_chunks * chunk
+    for _ in range(ops):
+        config = configs[rng.randrange(len(configs))]
+        tenant = config.name
+        pattern = patterns[tenant]
+        private = (hot_chunks + thread_index) * chunk
+        roll = rng.random()
+        try:
+            if roll < 0.70:
+                spans = []
+                for _ in range(spans_per_read):
+                    length = rng.randrange(1, 2 * chunk)
+                    address = rng.randrange(0, hot_bytes - length + 1)
+                    spans.append((address, length))
+                start = time.perf_counter()
+                results = client.readv(tenant, spans)
+                latencies.append(time.perf_counter() - start)
+                for (address, length), got in zip(spans, results):
+                    want = pattern[address:address + length]
+                    if got != want:
+                        failures.append(
+                            f"{tenant}: readv({address}, {length}) diverged"
+                        )
+            elif roll < 0.85:
+                length = rng.randrange(1, chunk)
+                address = rng.randrange(0, hot_bytes - length + 1)
+                start = time.perf_counter()
+                got = client.read(tenant, address, length)
+                latencies.append(time.perf_counter() - start)
+                if got != pattern[address:address + length]:
+                    failures.append(
+                        f"{tenant}: read({address}, {length}) diverged"
+                    )
+            elif roll < 0.95:
+                length = rng.randrange(1, 17)
+                address = private + rng.randrange(0, chunk - length + 1)
+                data = rng.randbytes(length)
+                client.write(tenant, address, data)
+                writes.append((tenant, address, data))
+            else:
+                data = rng.randbytes(chunk)
+                client.unprotect(tenant, private, chunk)
+                client.write_unchecked(tenant, private, data)
+                try:
+                    client.read(tenant, private, 4)
+                    failures.append(
+                        f"{tenant}: read of unprotected chunk not refused"
+                    )
+                except SecureModeError:
+                    pass
+                client.rebuild(tenant, private, chunk)
+                if client.read(tenant, private, chunk) != data:
+                    failures.append(f"{tenant}: DMA round trip diverged")
+                writes.append((tenant, private, data))
+        except Exception as error:  # noqa: BLE001 - reported, run continues
+            failures.append(f"{tenant}: {type(error).__name__}: {error}")
+
+
+def _diff_against_direct(client: ServeClient, configs: List[TenantConfig],
+                         patterns: Dict[str, bytes],
+                         writes: List[Tuple[str, int, bytes]]) -> List[str]:
+    """Replay the run into local verifiers and diff full segments."""
+    problems: List[str] = []
+    for config in configs:
+        twin = build_tenant(config)
+        twin.verifier.write(0, patterns[config.name])
+        for tenant, address, data in writes:
+            if tenant == config.name:
+                twin.verifier.write(address, data)
+        direct = twin.verifier.read(0, config.data_bytes)
+        step = 64 * config.chunk_bytes
+        served = b"".join(
+            client.read(config.name, offset,
+                        min(step, config.data_bytes - offset))
+            for offset in range(0, config.data_bytes, step)
+        )
+        if served != direct:
+            problems.append(
+                f"{config.name}: served bytes diverge from direct "
+                f"MemoryVerifier replay"
+            )
+    return problems
+
+
+def run_loadgen(base_url: Optional[str] = None, tenants: int = 4,
+                threads: int = 8, requests: int = 2000,
+                spans_per_read: int = 8, data_bytes: int = 16 * 1024,
+                chunk_bytes: int = 64, seed: int = 1,
+                output: Optional[str] = SERVE_BENCH_DEFAULT) -> dict:
+    """Run the generator; returns the report dict (also appended to
+    ``output`` as a trajectory-schema row unless ``output`` is None).
+
+    With no ``base_url`` an in-process front end is booted on a loopback
+    port, so ``python -m repro loadgen`` is self-contained while still
+    exercising the full HTTP path.
+    """
+    hot_chunks = max(2, spans_per_read // 2)
+    if data_bytes // chunk_bytes < hot_chunks + threads:
+        raise ValueError(
+            f"data_bytes too small: need at least "
+            f"{(hot_chunks + threads) * chunk_bytes} bytes for "
+            f"{threads} threads plus the hot window"
+        )
+    server = None
+    server_thread = None
+    if base_url is None:
+        server = make_serve_server(TreeForest(max_tenants=tenants + 1))
+        server_thread = threading.Thread(target=server.serve_forever,
+                                         daemon=True)
+        server_thread.start()
+        host, port = server.server_address[:2]
+        base_url = f"http://{host}:{port}"
+    client = ServeClient(base_url)
+    try:
+        configs = _tenant_configs(tenants, data_bytes, chunk_bytes)
+        patterns: Dict[str, bytes] = {}
+        for index, config in enumerate(configs):
+            pattern_rng = random.Random(seed * 7919 + index)
+            patterns[config.name] = pattern_rng.randbytes(data_bytes)
+            _setup_tenant(client, config, patterns[config.name],
+                          chunk_bytes)
+        ops = max(1, requests // threads)
+        lat_slots: List[List[float]] = [[] for _ in range(threads)]
+        write_slots: List[List[Tuple[str, int, bytes]]] = [
+            [] for _ in range(threads)
+        ]
+        fail_slots: List[List[str]] = [[] for _ in range(threads)]
+        started = time.perf_counter()
+        pool = [
+            threading.Thread(
+                target=_worker,
+                args=(client, configs, patterns, index, ops,
+                      spans_per_read, hot_chunks, seed, lat_slots[index],
+                      write_slots[index], fail_slots[index]),
+            )
+            for index in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        elapsed = time.perf_counter() - started
+
+        failures = [item for slot in fail_slots for item in slot]
+        writes = [item for slot in write_slots for item in slot]
+        failures.extend(
+            _diff_against_direct(client, configs, patterns, writes))
+
+        requested = 0
+        performed = 0
+        for config in configs:
+            stats = client.stats(config.name)
+            requested += stats.get("requested", 0)
+            performed += stats.get("performed", 0)
+        latencies = sorted(lat for slot in lat_slots for lat in slot)
+        report = {
+            "tenants": tenants,
+            "threads": threads,
+            "requests": ops * threads,
+            "read_requests": len(latencies),
+            "elapsed_s": elapsed,
+            "p50_s": _percentile(latencies, 0.50),
+            "p95_s": _percentile(latencies, 0.95),
+            "p99_s": _percentile(latencies, 0.99),
+            "chunk_touches_requested": requested,
+            "chunk_walks_performed": performed,
+            "amortization_ratio": (requested / performed
+                                   if performed else 0.0),
+            "diff_ok": not failures,
+            "failures": failures[:20],
+        }
+        if output:
+            cells = {
+                "serve/p50": {"seconds": report["p50_s"],
+                              "requests": report["read_requests"]},
+                "serve/p95": {"seconds": report["p95_s"],
+                              "requests": report["read_requests"]},
+                "serve/p99": {"seconds": report["p99_s"],
+                              "requests": report["read_requests"]},
+                "serve/amortization": {
+                    "ratio": report["amortization_ratio"],
+                    "requested": requested,
+                    "performed": performed,
+                },
+            }
+            append_trajectory_row(output, cells, backend="serve-http")
+        return report
+    finally:
+        client.close()
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if server_thread is not None:
+            server_thread.join()
+
+
+def format_report(report: dict) -> List[str]:
+    """Human-readable report lines for the CLI."""
+    lines = [
+        f"serve loadgen: {report['requests']} requests, "
+        f"{report['tenants']} tenants, {report['threads']} threads "
+        f"in {report['elapsed_s']:.2f}s",
+        f"  read latency: p50 {report['p50_s'] * 1e3:.2f}ms  "
+        f"p95 {report['p95_s'] * 1e3:.2f}ms  "
+        f"p99 {report['p99_s'] * 1e3:.2f}ms "
+        f"({report['read_requests']} verified reads)",
+        f"  amortization: {report['chunk_touches_requested']} chunk "
+        f"touches served by {report['chunk_walks_performed']} walks "
+        f"(ratio {report['amortization_ratio']:.2f})",
+        f"  direct-verifier diff: {'OK' if report['diff_ok'] else 'FAIL'}",
+    ]
+    for failure in report["failures"]:
+        lines.append(f"  failure: {failure}")
+    return lines

@@ -12,7 +12,7 @@ from .generators import (
     generate_list,
 )
 from .spec import BANDWIDTH_BOUND, BENCHMARK_ORDER, SPEC_PROFILES, spec_workload
-from .tracefile import dump_trace, load_trace, parse_trace, save_trace
+from .tracefile import TraceParseError, dump_trace, load_trace, parse_trace, save_trace
 
 __all__ = [
     "InstructionStream",
@@ -29,6 +29,7 @@ __all__ = [
     "SPEC_PROFILES",
     "spec_workload",
     "dump_trace",
+    "TraceParseError",
     "load_trace",
     "parse_trace",
     "save_trace",

@@ -15,11 +15,33 @@ Format: one instruction per line, ``#`` comments and blank lines ignored::
 from __future__ import annotations
 
 import io
-from typing import Iterable, Iterator, List, TextIO, Union
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
 
 from ..cpu.isa import Instruction
 
 _HEADER = "# repro instruction trace v1"
+
+_KNOWN_FLAGS = frozenset("mf")
+
+
+class TraceParseError(ValueError):
+    """A malformed or truncated trace line.
+
+    Carries ``source`` (file name, or None for anonymous streams) and
+    ``line`` (1-based line number) so tooling can point at the exact
+    offending input instead of re-parsing the message.  Subclasses
+    :class:`ValueError`, so pre-existing ``except ValueError`` callers
+    keep working.
+    """
+
+    def __init__(self, message: str, source: Optional[str] = None,
+                 line: Optional[int] = None):
+        where = f"trace line {line}"
+        if source:
+            where += f" of {source}"
+        super().__init__(f"{where}: {message}")
+        self.source = source
+        self.line = line
 
 
 def dump_trace(instructions: Iterable[Instruction], stream: TextIO) -> int:
@@ -46,18 +68,33 @@ def save_trace(instructions: Iterable[Instruction], path: str) -> int:
         return dump_trace(instructions, stream)
 
 
-def parse_trace(stream: Union[TextIO, io.StringIO]) -> Iterator[Instruction]:
-    """Yield instructions from an open trace stream (validates each line)."""
+def parse_trace(stream: Union[TextIO, io.StringIO],
+                source: Optional[str] = None) -> Iterator[Instruction]:
+    """Yield instructions from an open trace stream (validates each line).
+
+    Malformed lines raise :class:`TraceParseError` carrying ``source``
+    (defaults to the stream's ``name``, when it has one) and the 1-based
+    line number.
+    """
+    if source is None:
+        name = getattr(stream, "name", None)
+        source = name if isinstance(name, str) else None
     for line_number, line in enumerate(stream, start=1):
         text = line.strip()
         if not text or text.startswith("#"):
             continue
         fields = text.split()
         if len(fields) != 6:
-            raise ValueError(
-                f"trace line {line_number}: expected 6 fields, got {len(fields)}"
+            raise TraceParseError(
+                f"expected 6 fields, got {len(fields)}",
+                source=source, line=line_number,
             )
         kind, dep1, dep2, address, pc, flags = fields
+        if flags != "-" and (not flags or not _KNOWN_FLAGS.issuperset(flags)):
+            raise TraceParseError(
+                f"bad flags {flags!r} (want '-' or a combination of 'm'/'f')",
+                source=source, line=line_number,
+            )
         try:
             yield Instruction(
                 kind=kind,
@@ -69,10 +106,20 @@ def parse_trace(stream: Union[TextIO, io.StringIO]) -> Iterator[Instruction]:
                 full_block="f" in flags,
             )
         except ValueError as error:
-            raise ValueError(f"trace line {line_number}: {error}") from error
+            raise TraceParseError(
+                str(error), source=source, line=line_number
+            ) from error
 
 
 def load_trace(path: str) -> List[Instruction]:
-    """Read a whole trace file into a list."""
-    with open(path, "r", encoding="ascii") as stream:
-        return list(parse_trace(stream))
+    """Read a whole trace file into a list.
+
+    The handle is closed whether parsing succeeds or raises mid-file
+    (``parse_trace`` is lazy, so the failure surfaces while the file is
+    still open).
+    """
+    stream = open(path, "r", encoding="ascii")
+    try:
+        return list(parse_trace(stream, source=path))
+    finally:
+        stream.close()

@@ -76,6 +76,28 @@ class TestCLI:
         from repro.workloads import load_trace
         assert len(load_trace(path)) == 200
 
+    def test_loadgen(self, capsys, tmp_path):
+        output = tmp_path / "BENCH_serve.json"
+        assert main(["loadgen", "--tenants", "2", "--threads", "2",
+                     "--requests", "60", "--spans", "6",
+                     "--data-kb", "8", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "amortization" in out
+        assert "direct-verifier diff: OK" in out
+        assert output.exists()
+
+    def test_loadgen_no_output_writes_nothing(self, capsys, tmp_path,
+                                              monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["loadgen", "--tenants", "1", "--threads", "2",
+                     "--requests", "40", "--no-output"]) == 0
+        assert not (tmp_path / "BENCH_serve.json").exists()
+
+    def test_loadgen_rejects_bad_geometry(self, capsys):
+        assert main(["loadgen", "--threads", "64", "--data-kb", "1",
+                     "--no-output"]) == 2
+        assert "data_bytes too small" in capsys.readouterr().err
+
 
 class TestCheckCLI:
     VIOLATION = (

@@ -7,6 +7,7 @@ import pytest
 from repro.cpu import Instruction
 from repro.workloads import spec_workload
 from repro.workloads.tracefile import (
+    TraceParseError,
     dump_trace,
     load_trace,
     parse_trace,
@@ -54,6 +55,50 @@ class TestParsing:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="line 1"):
             list(parse_trace(io.StringIO("warp 0 0 0 4 -\n")))
+
+    def test_error_carries_source_and_line(self):
+        text = "# header\nalu 0 0 0 4 -\nbogus line here\n"
+        with pytest.raises(TraceParseError) as info:
+            list(parse_trace(io.StringIO(text), source="demo.trace"))
+        assert info.value.source == "demo.trace"
+        assert info.value.line == 3
+        assert "demo.trace" in str(info.value)
+
+    def test_error_is_a_value_error(self):
+        assert issubclass(TraceParseError, ValueError)
+
+    def test_bad_flags_rejected(self):
+        with pytest.raises(TraceParseError, match="bad flags"):
+            list(parse_trace(io.StringIO("alu 0 0 0 4 q\n")))
+
+    def test_load_trace_closes_handle_on_parse_failure(self, tmp_path,
+                                                       monkeypatch):
+        import repro.workloads.tracefile as tracefile
+
+        path = tmp_path / "bad.trace"
+        path.write_text("alu 0 0 0 4 -\ntruncated 1 2\n")
+        opened = []
+        real_open = open
+
+        def spying_open(*args, **kwargs):
+            handle = real_open(*args, **kwargs)
+            opened.append(handle)
+            return handle
+
+        monkeypatch.setattr(tracefile, "open", spying_open, raising=False)
+        with pytest.raises(TraceParseError) as info:
+            load_trace(str(path))
+        assert info.value.line == 2
+        assert info.value.source == str(path)
+        assert opened and all(handle.closed for handle in opened)
+
+    def test_load_trace_source_inferred_from_stream_name(self, tmp_path):
+        path = tmp_path / "named.trace"
+        path.write_text("nonsense\n")
+        with open(path) as stream:
+            with pytest.raises(TraceParseError) as info:
+                list(parse_trace(stream))
+        assert info.value.source == str(path)
 
     def test_trace_drives_simulator(self):
         from repro.common import SchemeKind, table1_config
